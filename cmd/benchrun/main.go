@@ -1,0 +1,86 @@
+// Command benchrun regenerates the paper's evaluation: every table and
+// figure of §5 plus the ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	benchrun                    # run everything
+//	benchrun -exp fig7,fig8     # run selected experiments
+//	benchrun -runs 10 -seed 7   # control averaging and job draws
+//	benchrun -scale 0.01        # slow the simulation down 10x
+//	benchrun -list              # list experiment IDs
+//
+// The -scale flag maps model seconds to wall seconds (default 0.001:
+// the full suite takes on the order of a minute). Results print as
+// aligned text tables with the paper's qualitative claim quoted above
+// each, for side-by-side comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gvrt/internal/exp"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		runs    = flag.Int("runs", 3, "repetitions for randomized experiments")
+		seed    = flag.Int64("seed", 1, "base seed for random job draws")
+		scale   = flag.Float64("scale", 1e-3, "wall seconds per model second")
+		chart   = flag.Bool("chart", false, "render results as ASCII bar charts too")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		verbose = flag.Bool("v", false, "print progress while running")
+	)
+	flag.Parse()
+
+	all := exp.All()
+	if *list {
+		for _, e := range all {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	o := exp.Options{Scale: *scale, Runs: *runs, Seed: *seed}
+	if *verbose {
+		o.Verbose = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		}
+	}
+
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		t, err := e.Run(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		t.Render(os.Stdout)
+		if *chart {
+			t.RenderChart(os.Stdout)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "# %s finished in %v wall\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchrun: no experiment matched %q (use -list)\n", *expFlag)
+		os.Exit(1)
+	}
+}

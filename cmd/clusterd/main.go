@@ -1,0 +1,103 @@
+// Command clusterd is the TORQUE-like cluster head of the paper's §5.4
+// evaluation: it builds a multi-node cluster (each node with its own
+// GPUs and gvrt runtime), dispatches a batch of jobs GPU-obliviously,
+// and reports the batch metrics.
+//
+// Usage:
+//
+//	clusterd -nodes "c2050,c2050,c1060;c1060" -random 48
+//	clusterd -nodes "c2050;c2050" -mix 32:25 -vgpus 4 -offload
+//
+// The -nodes flag lists one node per semicolon-separated group of GPU
+// models. With -offload, every node redirects excess application
+// threads to the next node in the ring (§4.7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"gvrt"
+)
+
+func parseSpecs(s string) ([]gvrt.DeviceSpec, error) {
+	var specs []gvrt.DeviceSpec
+	for _, name := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "c2050":
+			specs = append(specs, gvrt.TeslaC2050)
+		case "c1060":
+			specs = append(specs, gvrt.TeslaC1060)
+		case "quadro2000", "q2000":
+			specs = append(specs, gvrt.Quadro2000)
+		default:
+			return nil, fmt.Errorf("unknown GPU model %q", name)
+		}
+	}
+	return specs, nil
+}
+
+func main() {
+	var (
+		nodesFlag = flag.String("nodes", "c2050,c2050,c1060;c1060", "semicolon-separated nodes, each a comma-separated GPU list")
+		random    = flag.Int("random", 0, "dispatch this many random short jobs")
+		seed      = flag.Int64("seed", 1, "seed for -random")
+		mixFlag   = flag.String("mix", "", "long-job mix as N:bslPercent, e.g. 48:25")
+		vgpus     = flag.Int("vgpus", 4, "virtual GPUs per device")
+		offload   = flag.Bool("offload", false, "enable inter-node offloading")
+		scale     = flag.Float64("scale", 1e-3, "wall seconds per model second")
+	)
+	flag.Parse()
+
+	clock := gvrt.NewClock(*scale)
+	var nodes []*gvrt.ClusterNode
+	for i, group := range strings.Split(*nodesFlag, ";") {
+		specs, err := parseSpecs(group)
+		if err != nil {
+			log.Fatalf("clusterd: %v", err)
+		}
+		cfg := gvrt.Config{VGPUsPerDevice: *vgpus}
+		if *offload {
+			cfg.OffloadThreshold = 2 * *vgpus * len(specs)
+		}
+		n, err := gvrt.NewClusterNode(fmt.Sprintf("node-%d", i), clock, specs, cfg)
+		if err != nil {
+			log.Fatalf("clusterd: %v", err)
+		}
+		nodes = append(nodes, n)
+		defer n.Close()
+	}
+	if *offload {
+		for i, n := range nodes {
+			n.SetPeer(nodes[(i+1)%len(nodes)])
+		}
+	}
+
+	var apps []gvrt.App
+	switch {
+	case *mixFlag != "":
+		var n, pct int
+		if _, err := fmt.Sscanf(*mixFlag, "%d:%d", &n, &pct); err != nil {
+			log.Fatalf("clusterd: bad -mix %q: %v", *mixFlag, err)
+		}
+		apps = gvrt.MixedLongBatch(n, pct, 1)
+	case *random > 0:
+		apps = gvrt.RandomShortBatch(gvrt.NewRNG(*seed), *random)
+	default:
+		log.Fatal("clusterd: specify -random N or -mix N:PCT")
+	}
+
+	head := gvrt.NewClusterHead(clock, nodes...)
+	fmt.Printf("dispatching %d jobs to %d nodes (oblivious round-robin)...\n", len(apps), len(nodes))
+	res := head.RunOblivious(apps)
+
+	fmt.Printf("total %.1f model s, avg %.1f s, failures %d\n",
+		res.Total.Seconds(), res.Avg.Seconds(), res.Failed())
+	for i, n := range nodes {
+		m := n.RT.Metrics()
+		fmt.Printf("node-%d: binds=%d swaps=%d offloaded=%d\n",
+			i, m.Binds, m.Memory.SwapOps, m.Offloaded)
+	}
+}

@@ -1,0 +1,162 @@
+// Command gvrtd is the gvrt node runtime daemon: it owns a node's
+// (simulated) GPUs and serves intercepted CUDA calls over TCP — the
+// per-node component of the paper's Figure 2 deployments.
+//
+// Usage:
+//
+//	gvrtd -listen :7070 -gpus c2050,c2050,c1060 -vgpus 4
+//	gvrtd -listen :7071 -gpus c1060 -peer host:7070 -threshold 8
+//
+// The -peer / -threshold flags enable inter-node offloading (§4.7):
+// once more application threads are queued than the threshold allows,
+// new connections are proxied to the peer daemon.
+//
+// Clients connect with cmd/gvrt-run or the gvrt.Dial API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gvrt"
+)
+
+// parseGPUs maps comma-separated model names to device specs.
+func parseGPUs(s string) ([]gvrt.DeviceSpec, error) {
+	var specs []gvrt.DeviceSpec
+	for _, name := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "c2050", "teslac2050":
+			specs = append(specs, gvrt.TeslaC2050)
+		case "c1060", "teslac1060":
+			specs = append(specs, gvrt.TeslaC1060)
+		case "quadro2000", "q2000":
+			specs = append(specs, gvrt.Quadro2000)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown GPU model %q (want c2050, c1060 or quadro2000)", name)
+		}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no GPUs specified")
+	}
+	return specs, nil
+}
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":7070", "TCP address to serve on")
+		gpus      = flag.String("gpus", "c2050", "comma-separated GPU models (c2050, c1060, quadro2000)")
+		vgpus     = flag.Int("vgpus", 4, "virtual GPUs per device (sharing degree)")
+		scale     = flag.Float64("scale", 1e-3, "wall seconds per model second")
+		policy    = flag.String("policy", "fcfs", "scheduling policy: fcfs, sjf or credit")
+		peer      = flag.String("peer", "", "peer daemon address for inter-node offloading")
+		threshold = flag.Int("threshold", 0, "queue length beyond which new threads are offloaded (0 = off)")
+		migrate   = flag.Bool("migrate", false, "enable load balancing through dynamic binding")
+		autoCkpt  = flag.Duration("auto-checkpoint", 0, "checkpoint after kernels at least this long (model time; 0 = off)")
+		stateFile = flag.String("state", "", "persist runtime state here on SIGINT/SIGTERM and restore it at startup (node-restart support)")
+		verbose   = flag.Bool("v", false, "log runtime events")
+	)
+	flag.Parse()
+
+	specs, err := parseGPUs(*gpus)
+	if err != nil {
+		log.Fatalf("gvrtd: %v", err)
+	}
+
+	cfg := gvrt.Config{
+		VGPUsPerDevice:  *vgpus,
+		EnableMigration: *migrate,
+		AutoCheckpoint:  *autoCkpt,
+	}
+	switch strings.ToLower(*policy) {
+	case "fcfs":
+		cfg.Policy = gvrt.FCFS{}
+	case "sjf":
+		cfg.Policy = gvrt.ShortestJobFirst{}
+	case "credit":
+		cfg.Policy = gvrt.CreditBased{}
+	default:
+		log.Fatalf("gvrtd: unknown policy %q", *policy)
+	}
+	if *peer != "" && *threshold > 0 {
+		addr := *peer
+		cfg.OffloadThreshold = *threshold
+		cfg.PeerDial = func() (gvrt.Conn, error) { return gvrt.Dial(addr) }
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			log.Printf("gvrtd: "+format, args...)
+		}
+	}
+
+	node, err := gvrt.NewLocalNode(gvrt.NewClock(*scale), cfg, specs...)
+	if err != nil {
+		log.Fatalf("gvrtd: %v", err)
+	}
+	defer node.Close()
+
+	// Node-restart support (§4.6): restore persisted sessions, and save
+	// them again on shutdown. Clients re-attach with Client.Resume.
+	if *stateFile != "" {
+		if f, err := os.Open(*stateFile); err == nil {
+			if err := node.RT.RestoreState(f); err != nil {
+				log.Fatalf("gvrtd: restoring %s: %v", *stateFile, err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "gvrtd: restored sessions %v from %s\n",
+				node.RT.OrphanSessions(), *stateFile)
+		}
+	}
+
+	l, err := gvrt.Listen(*listen)
+	if err != nil {
+		log.Fatalf("gvrtd: %v", err)
+	}
+	defer l.Close()
+
+	if *stateFile != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			f, err := os.Create(*stateFile)
+			if err == nil {
+				err = node.RT.SaveState(f)
+				f.Close()
+			}
+			if err != nil {
+				log.Printf("gvrtd: saving state: %v", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "gvrtd: state saved to %s\n", *stateFile)
+			os.Exit(0)
+		}()
+	}
+
+	fmt.Fprintf(os.Stderr, "gvrtd: serving %d GPUs (%d vGPUs) on %s (scale %g)\n",
+		len(specs), len(specs)**vgpus, l.Addr(), *scale)
+	if cfg.OffloadThreshold > 0 {
+		fmt.Fprintf(os.Stderr, "gvrtd: offloading to %s beyond queue depth %d\n", *peer, *threshold)
+	}
+
+	// Periodically report utilization-style metrics.
+	if *verbose {
+		go func() {
+			for {
+				time.Sleep(5 * time.Second)
+				m := node.RT.Metrics()
+				log.Printf("gvrtd: calls=%d binds=%d swaps=%d migrations=%d offloaded=%d",
+					m.CallsServed, m.Binds, m.Memory.SwapOps, m.Migrations, m.Offloaded)
+			}
+		}()
+	}
+
+	node.RT.ServeListener(l)
+}

@@ -1,0 +1,85 @@
+package gvrt_test
+
+import (
+	"fmt"
+	"time"
+
+	"gvrt"
+)
+
+// ExampleNewLocalNode shows the minimal end-to-end flow: one node, one
+// client, one kernel, data verified.
+func ExampleNewLocalNode() {
+	gvrt.RegisterKernelImpl("doc", "double", func(mem gvrt.KernelMemory, scalars []uint64) error {
+		buf, err := mem.Arg(0)
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < scalars[0]; i++ {
+			buf[i] *= 2
+		}
+		return nil
+	})
+	defer gvrt.RegisterKernelImpl("doc", "double", nil)
+
+	node, err := gvrt.NewLocalNode(gvrt.NewClock(1e-6), gvrt.Config{}, gvrt.TeslaC2050)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer node.Close()
+
+	c := node.OpenClient()
+	defer c.Close()
+	_ = c.RegisterFatBinary(gvrt.FatBinary{
+		ID:      "doc",
+		Kernels: []gvrt.KernelMeta{{Name: "double", BaseTime: time.Millisecond}},
+	})
+	p, _ := c.Malloc(64)
+	_ = c.MemcpyHD(p, []byte{1, 2, 3})
+	_ = c.Launch(gvrt.LaunchCall{Kernel: "double", PtrArgs: []gvrt.DevPtr{p}, Scalars: []uint64{3}})
+	out, _ := c.MemcpyDH(p, 3)
+	fmt.Println(out)
+	// Output: [2 4 6]
+}
+
+// ExampleClient_DeviceCount shows the paper's device abstraction: the
+// application sees virtual GPUs, not the physical hardware.
+func ExampleClient_DeviceCount() {
+	node, err := gvrt.NewLocalNode(gvrt.NewClock(1e-6),
+		gvrt.Config{VGPUsPerDevice: 4}, gvrt.TeslaC2050, gvrt.TeslaC1060)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer node.Close()
+
+	c := node.OpenClient()
+	defer c.Close()
+	n, _ := c.DeviceCount()
+	fmt.Printf("2 physical GPUs appear as %d devices\n", n)
+	// cudaSetDevice is accepted and ignored: procurement is abstracted.
+	fmt.Println(c.SetDevice(99) == nil)
+	// Output:
+	// 2 physical GPUs appear as 8 devices
+	// true
+}
+
+// ExampleRunBatch runs a Table 2 benchmark batch and reports the
+// paper's metric (the batch makespan in model time).
+func ExampleRunBatch() {
+	clock := gvrt.NewClock(1e-6)
+	node, err := gvrt.NewLocalNode(clock, gvrt.Config{}, gvrt.TeslaC2050)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer node.Close()
+
+	apps := gvrt.RandomShortBatch(gvrt.NewRNG(1), 4)
+	res := gvrt.RunBatch(clock, apps, func(int) (gvrt.CUDAClient, error) {
+		return node.OpenClient(), nil
+	})
+	fmt.Printf("%d jobs, %d failures\n", len(res.JobTimes), res.Failed())
+	// Output: 4 jobs, 0 failures
+}

@@ -1,0 +1,3 @@
+module gvrt
+
+go 1.22

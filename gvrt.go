@@ -1,0 +1,332 @@
+// Package gvrt is a virtual-memory based runtime for GPU multi-tenancy
+// — a full reimplementation, over a simulated CUDA stack, of the system
+// described in Becchi et al., "A Virtual Memory Based Runtime to
+// Support Multi-tenancy in Clusters with GPUs" (HPDC 2012).
+//
+// # Architecture
+//
+// Applications link the intercept Client (package frontend behind this
+// façade) instead of the CUDA runtime; every CUDA call travels over a
+// connection to a node-level Runtime daemon, which owns the node's GPUs
+// through a configurable number of virtual GPUs per device. A memory
+// manager gives each application virtual device pointers backed by a
+// host-side swap area, making application→GPU binding dynamic: the
+// runtime time-shares GPUs between applications whose aggregate memory
+// needs exceed device capacity (inter-application swap), runs
+// applications whose own footprint exceeds the device (intra-application
+// swap), migrates applications from slow to fast GPUs, survives GPU
+// failures by replaying kernels from the last checkpoint, and offloads
+// excess application threads to peer nodes.
+//
+// # Quick start
+//
+//	clock := gvrt.NewClock(0.001) // 1 model second = 1 wall ms
+//	dev := gvrt.NewDevice(0, gvrt.TeslaC2050, clock)
+//	crt := gvrt.NewCUDARuntime(clock, dev)
+//	rt, err := gvrt.NewRuntime(crt, gvrt.Config{})
+//	...
+//	conn, serverConn := gvrt.Pipe()
+//	go rt.Serve(serverConn)
+//	client := gvrt.Connect(conn)
+//	ptr, err := client.Malloc(1 << 20)
+//
+// See examples/ for complete programs and cmd/benchrun for the
+// reproduction of the paper's evaluation.
+//
+// # Model time
+//
+// All durations are model time executed as scaled wall time through a
+// Clock; the hardware model (device speeds, memory sizes, PCIe
+// bandwidth, CUDA limits) is documented in DESIGN.md.
+package gvrt
+
+import (
+	"gvrt/internal/api"
+	"gvrt/internal/cluster"
+	"gvrt/internal/core"
+	"gvrt/internal/cudart"
+	"gvrt/internal/frontend"
+	"gvrt/internal/gpu"
+	"gvrt/internal/memmgr"
+	"gvrt/internal/sched"
+	"gvrt/internal/sim"
+	"gvrt/internal/trace"
+	"gvrt/internal/transport"
+	"gvrt/internal/workload"
+)
+
+// Core types.
+type (
+	// Runtime is the gvrt node-level runtime daemon (paper §4).
+	Runtime = core.Runtime
+	// Config tunes a Runtime; the zero value is the paper's evaluation
+	// configuration (4 vGPUs per device, FCFS, transfer deferral).
+	Config = core.Config
+	// Metrics is a snapshot of a Runtime's counters.
+	Metrics = core.Metrics
+	// Client is the application-side intercept library: one Client per
+	// application thread.
+	Client = frontend.Client
+	// Clock is the model-time clock everything runs on.
+	Clock = sim.Clock
+	// RNG is a deterministic random source for workload generation.
+	RNG = sim.RNG
+)
+
+// Hardware and CUDA substrate types.
+type (
+	// Device is one simulated GPU.
+	Device = gpu.Device
+	// DeviceSpec describes a GPU model.
+	DeviceSpec = gpu.Spec
+	// DeviceStats is a snapshot of a device's activity counters.
+	DeviceStats = gpu.Stats
+	// CUDARuntime is the simulated CUDA driver+runtime a Runtime is
+	// built on (and the baseline applications can run against).
+	CUDARuntime = cudart.Runtime
+	// CUDAContext is a bare CUDA context on one device.
+	CUDAContext = cudart.Context
+)
+
+// Wire-level types.
+type (
+	// DevPtr is a (virtual) device pointer.
+	DevPtr = api.DevPtr
+	// Dim3 is a CUDA launch dimension.
+	Dim3 = api.Dim3
+	// FatBinary carries an application's kernels.
+	FatBinary = api.FatBinary
+	// KernelMeta describes one kernel.
+	KernelMeta = api.KernelMeta
+	// KernelFunc is a host-side kernel implementation operating on
+	// simulated device memory.
+	KernelFunc = api.KernelFunc
+	// KernelMemory gives a KernelFunc access to its buffers.
+	KernelMemory = api.KernelMemory
+	// LaunchCall is a kernel launch request.
+	LaunchCall = api.LaunchCall
+	// Error is a CUDA-style result code.
+	Error = api.Error
+	// RuntimeStats is the wire form of a daemon's metrics snapshot
+	// (Client.Stats).
+	RuntimeStats = api.RuntimeStats
+	// Conn is the client side of a runtime connection.
+	Conn = transport.Conn
+	// ServerConn is the runtime side of a connection.
+	ServerConn = transport.ServerConn
+	// Listener accepts runtime connections over TCP.
+	Listener = transport.Listener
+)
+
+// Scheduling policy types (paper §2 "Configurable Scheduling").
+type (
+	// Policy decides device choice and waiting-list order.
+	Policy = sched.Policy
+	// FCFS is first-come-first-served with balanced device choice.
+	FCFS = sched.FCFS
+	// ShortestJobFirst favours the shortest pending kernel.
+	ShortestJobFirst = sched.ShortestJobFirst
+	// CreditBased favours contexts that consumed the least GPU time.
+	CreditBased = sched.CreditBased
+	// EarliestDeadlineFirst serves the tightest declared QoS deadline
+	// first (Client.SetDeadline).
+	EarliestDeadlineFirst = sched.EarliestDeadlineFirst
+)
+
+// Workload and cluster types.
+type (
+	// App is one benchmark application trace (paper Table 2).
+	App = workload.App
+	// BatchResult aggregates a concurrent batch run.
+	BatchResult = workload.BatchResult
+	// CUDAClient is the call surface an App needs; both Client and the
+	// bare-runtime adapter satisfy it.
+	CUDAClient = workload.CUDA
+	// ClusterNode is one compute node (devices + runtimes).
+	ClusterNode = cluster.Node
+	// ClusterHead is the TORQUE-like resource manager.
+	ClusterHead = cluster.Head
+	// MemoryStats is a snapshot of the memory manager's counters.
+	MemoryStats = memmgr.Stats
+)
+
+// Tracing types: plug a TraceRecorder into Config.Trace to capture the
+// runtime's scheduling decisions (bindings, swaps, migrations,
+// failures, recoveries, offloads) as structured events.
+type (
+	// TraceRecorder is a bounded ring buffer of runtime events.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded runtime event.
+	TraceEvent = trace.Event
+	// TraceKind classifies a TraceEvent.
+	TraceKind = trace.Kind
+)
+
+// Trace event kinds.
+const (
+	TraceConnect    = trace.KindConnect
+	TraceBind       = trace.KindBind
+	TraceUnbind     = trace.KindUnbind
+	TraceIntraSwap  = trace.KindIntraSwap
+	TraceInterSwap  = trace.KindInterSwap
+	TraceMigration  = trace.KindMigration
+	TraceCheckpoint = trace.KindCheckpoint
+	TraceFailure    = trace.KindFailure
+	TraceRecovery   = trace.KindRecovery
+	TraceOffload    = trace.KindOffload
+	TraceExit       = trace.KindExit
+)
+
+// NewTraceRecorder creates a recorder retaining the most recent
+// capacity events.
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
+
+// Device models from the paper's testbed (§5.1).
+var (
+	TeslaC2050 = gpu.TeslaC2050
+	TeslaC1060 = gpu.TeslaC1060
+	Quadro2000 = gpu.Quadro2000
+)
+
+// CUDA-style result codes (a subset; see the api package for all).
+const (
+	Success                 = api.Success
+	ErrMemoryAllocation     = api.ErrMemoryAllocation
+	ErrInvalidDevicePointer = api.ErrInvalidDevicePointer
+	ErrDeviceUnavailable    = api.ErrDeviceUnavailable
+	ErrTooManyContexts      = api.ErrTooManyContexts
+	ErrRuntimeUnstable      = api.ErrRuntimeUnstable
+)
+
+// NewClock returns a model clock executing one model second in scale
+// wall seconds (0 or negative selects the 1 ms default).
+func NewClock(scale float64) *Clock { return sim.NewClock(scale) }
+
+// NewRNG returns a deterministic random source.
+func NewRNG(seed int64) *RNG { return sim.NewRNG(seed) }
+
+// NewDevice creates a simulated GPU.
+func NewDevice(id int, spec DeviceSpec, clock *Clock) *Device {
+	return gpu.NewDevice(id, spec, clock)
+}
+
+// NewCUDARuntime creates the simulated CUDA driver+runtime for a node.
+func NewCUDARuntime(clock *Clock, devices ...*Device) *CUDARuntime {
+	return cudart.New(clock, devices...)
+}
+
+// NewRuntime creates the gvrt node runtime over a CUDA runtime.
+func NewRuntime(crt *CUDARuntime, cfg Config) (*Runtime, error) {
+	return core.New(crt, cfg)
+}
+
+// Pipe creates a connected in-process (client, server) connection pair.
+func Pipe() (Conn, ServerConn) { return transport.Pipe() }
+
+// Dial connects to a runtime daemon over TCP.
+func Dial(addr string) (Conn, error) { return transport.Dial(addr) }
+
+// Listen starts a TCP listener for runtime connections.
+func Listen(addr string) (*Listener, error) { return transport.Listen(addr) }
+
+// Connect wraps a connection as an application-side Client.
+func Connect(conn Conn) *Client { return frontend.Connect(conn) }
+
+// RegisterKernelImpl installs a process-local host implementation for a
+// kernel, enabling end-to-end data flow through the simulated stack.
+func RegisterKernelImpl(binaryID, kernel string, fn KernelFunc) {
+	api.RegisterKernelImpl(binaryID, kernel, fn)
+}
+
+// NewClusterNode builds a compute node with the given devices.
+func NewClusterNode(name string, clock *Clock, specs []DeviceSpec, cfg Config) (*ClusterNode, error) {
+	return cluster.NewNode(name, clock, specs, cfg)
+}
+
+// NewClusterHead builds a TORQUE-like head over compute nodes.
+func NewClusterHead(clock *Clock, nodes ...*ClusterNode) *ClusterHead {
+	return cluster.NewHead(clock, nodes...)
+}
+
+// RunApp drives an application trace against a client.
+func RunApp(clock *Clock, c CUDAClient, app App) error {
+	return workload.Run(clock, c, app)
+}
+
+// RunBatch launches all apps concurrently and waits for the batch.
+func RunBatch(clock *Clock, apps []App, connect func(job int) (CUDAClient, error)) BatchResult {
+	return workload.RunBatch(clock, apps, connect)
+}
+
+// RandomShortBatch draws n jobs from the paper's short-running pool.
+func RandomShortBatch(rng *RNG, n int) []App { return workload.RandomShortBatch(rng, n) }
+
+// MixedLongBatch builds n long-running jobs: bslPercent% are BS-L and
+// the rest MM-L with the given CPU fraction (the Figure 8/11 mixes).
+func MixedLongBatch(n, bslPercent int, mmlCPUFraction float64) []App {
+	return workload.MixedBatch(n, bslPercent, mmlCPUFraction)
+}
+
+// Benchmarks returns one instance of every Table 2 program.
+func Benchmarks() []App { return workload.AllApps() }
+
+// BenchmarkByName builds one Table 2 program by name; cpuFraction
+// applies to the parameterised matrix multiplications (MM-S, MM-L) and
+// is ignored for the rest. ok is false for an unknown name.
+func BenchmarkByName(name string, cpuFraction float64) (App, bool) {
+	switch name {
+	case "MM-S":
+		return workload.MMS(cpuFraction), true
+	case "MM-L":
+		return workload.MML(cpuFraction), true
+	}
+	for _, mk := range workload.ShortApps() {
+		if app := mk(); app.Name == name {
+			return app, true
+		}
+	}
+	if name == "BS-L" {
+		return workload.BSL(), true
+	}
+	return App{}, false
+}
+
+// NewBareClient attaches directly to the bare CUDA runtime (baseline).
+func NewBareClient(crt *CUDARuntime, device int) (CUDAClient, error) {
+	return workload.NewBareClient(crt, device)
+}
+
+// LocalNode bundles the common single-node setup: devices, CUDA
+// runtime and gvrt runtime, with in-process client connections.
+type LocalNode struct {
+	ClockV *Clock
+	CRT    *CUDARuntime
+	RT     *Runtime
+}
+
+// NewLocalNode builds a ready-to-use single node.
+func NewLocalNode(clock *Clock, cfg Config, specs ...DeviceSpec) (*LocalNode, error) {
+	devs := make([]*Device, len(specs))
+	for i, s := range specs {
+		devs[i] = NewDevice(i, s, clock)
+	}
+	crt := NewCUDARuntime(clock, devs...)
+	rt, err := NewRuntime(crt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &LocalNode{ClockV: clock, CRT: crt, RT: rt}, nil
+}
+
+// Clock returns the node's model clock.
+func (n *LocalNode) Clock() *Clock { return n.ClockV }
+
+// OpenClient opens an in-process client served by the node's runtime.
+func (n *LocalNode) OpenClient() *Client {
+	c, s := Pipe()
+	go n.RT.HandleConn(s)
+	return Connect(c)
+}
+
+// Close shuts the node's runtime down.
+func (n *LocalNode) Close() { n.RT.Close() }

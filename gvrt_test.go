@@ -1,0 +1,186 @@
+package gvrt_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"gvrt"
+)
+
+// TestPublicAPIQuickstart exercises the documented entry points the way
+// a downstream user would: build a node, connect a client, push data
+// through a kernel and read it back.
+func TestPublicAPIQuickstart(t *testing.T) {
+	const binID = "facade-test"
+	gvrt.RegisterKernelImpl(binID, "add1", func(mem gvrt.KernelMemory, scalars []uint64) error {
+		buf, err := mem.Arg(0)
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < scalars[0]; i++ {
+			buf[i]++
+		}
+		return nil
+	})
+	defer gvrt.RegisterKernelImpl(binID, "add1", nil)
+
+	node, err := gvrt.NewLocalNode(gvrt.NewClock(1e-6), gvrt.Config{}, gvrt.TeslaC2050)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	c := node.OpenClient()
+	defer c.Close()
+	if err := c.RegisterFatBinary(gvrt.FatBinary{
+		ID:      binID,
+		Kernels: []gvrt.KernelMeta{{Name: "add1", BaseTime: time.Millisecond}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MemcpyHD(p, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Launch(gvrt.LaunchCall{Kernel: "add1", PtrArgs: []gvrt.DevPtr{p}, Scalars: []uint64{3}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.MemcpyDH(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte{2, 3, 4}) {
+		t.Errorf("result = %v, want [2 3 4]", out)
+	}
+
+	n, err := c.DeviceCount()
+	if err != nil || n != 4 {
+		t.Errorf("DeviceCount = %d, %v; want 4 vGPUs", n, err)
+	}
+	if m := node.RT.Metrics(); m.Binds != 1 {
+		t.Errorf("Binds = %d, want 1", m.Binds)
+	}
+}
+
+func TestPublicAPIBareBaseline(t *testing.T) {
+	clock := gvrt.NewClock(1e-6)
+	crt := gvrt.NewCUDARuntime(clock, gvrt.NewDevice(0, gvrt.TeslaC2050, clock))
+	apps := gvrt.RandomShortBatch(gvrt.NewRNG(1), 2)
+	res := gvrt.RunBatch(clock, apps, func(i int) (gvrt.CUDAClient, error) {
+		return gvrt.NewBareClient(crt, 0)
+	})
+	if res.Failed() != 0 {
+		t.Fatalf("bare batch failed: %v", res.Errors)
+	}
+}
+
+func TestPublicAPITCP(t *testing.T) {
+	node, err := gvrt.NewLocalNode(gvrt.NewClock(1e-6), gvrt.Config{}, gvrt.TeslaC2050)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	l, err := gvrt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go node.RT.ServeListener(l)
+
+	conn, err := gvrt.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := gvrt.Connect(conn)
+	defer c.Close()
+	apps := gvrt.Benchmarks()
+	if err := gvrt.RunApp(node.Clock(), c, apps[1]); err != nil { // BFS
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIErrorCodes(t *testing.T) {
+	node, err := gvrt.NewLocalNode(gvrt.NewClock(1e-6), gvrt.Config{}, gvrt.TeslaC2050)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	c := node.OpenClient()
+	defer c.Close()
+	if err := c.Free(0xbad); !errors.Is(err, gvrt.ErrInvalidDevicePointer) {
+		t.Errorf("Free(wild) = %v, want ErrInvalidDevicePointer", err)
+	}
+}
+
+func TestPublicAPICluster(t *testing.T) {
+	clock := gvrt.NewClock(1e-7)
+	a, err := gvrt.NewClusterNode("a", clock, []gvrt.DeviceSpec{gvrt.TeslaC2050}, gvrt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gvrt.NewClusterNode("b", clock, []gvrt.DeviceSpec{gvrt.TeslaC1060}, gvrt.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	head := gvrt.NewClusterHead(clock, a, b)
+	res := head.RunOblivious(gvrt.RandomShortBatch(gvrt.NewRNG(3), 6))
+	if res.Failed() != 0 {
+		t.Fatalf("cluster batch failed: %v", res.Errors)
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if rec := gvrt.NewTraceRecorder(32); rec == nil || rec.Len() != 0 {
+		t.Error("NewTraceRecorder broken")
+	}
+	batch := gvrt.MixedLongBatch(8, 50, 1)
+	if len(batch) != 8 {
+		t.Errorf("MixedLongBatch len = %d", len(batch))
+	}
+	nBSL := 0
+	for _, app := range batch {
+		if app.Name == "BS-L" {
+			nBSL++
+		}
+	}
+	if nBSL != 4 {
+		t.Errorf("MixedLongBatch BS-L count = %d, want 4", nBSL)
+	}
+	for _, name := range []string{"BP", "BFS", "HS", "NW", "SP", "MT", "PR", "SC", "BS-S", "VA", "MM-S", "MM-L", "BS-L"} {
+		app, ok := gvrt.BenchmarkByName(name, 1.5)
+		if !ok || app.Name != name {
+			t.Errorf("BenchmarkByName(%q) = %v, %v", name, app.Name, ok)
+		}
+	}
+	if _, ok := gvrt.BenchmarkByName("nope", 1); ok {
+		t.Error("BenchmarkByName accepted an unknown name")
+	}
+}
+
+func TestFacadeTraceIntegration(t *testing.T) {
+	rec := gvrt.NewTraceRecorder(64)
+	node, err := gvrt.NewLocalNode(gvrt.NewClock(1e-6), gvrt.Config{Trace: rec}, gvrt.TeslaC2050)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	c := node.OpenClient()
+	c.Close()
+	// Teardown (and its exit event) completes asynchronously after the
+	// connection closes.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(rec.Filter(gvrt.TraceExit)) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	evs := rec.Filter(gvrt.TraceConnect, gvrt.TraceExit)
+	if len(evs) != 2 {
+		t.Errorf("trace events = %v", evs)
+	}
+}

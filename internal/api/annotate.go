@@ -1,0 +1,24 @@
+package api
+
+import "gvrt/internal/ptx"
+
+// AnnotateFromPTX fills each kernel's UsesDynamicAlloc and
+// UsesNestedPointers flags by analysing its PTX text, when present
+// (§1: both properties "can be detected by intercepting and parsing
+// the pseudo-assembly (PTX) representation of CUDA kernels"). Flags
+// already set by hand are never cleared.
+func AnnotateFromPTX(fb *FatBinary) {
+	for i := range fb.Kernels {
+		k := &fb.Kernels[i]
+		if k.PTX == "" {
+			continue
+		}
+		a := ptx.Analyze(k.PTX)
+		if a.UsesDynamicAlloc {
+			k.UsesDynamicAlloc = true
+		}
+		if a.UsesNestedPointers {
+			k.UsesNestedPointers = true
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package api
+
+import (
+	"fmt"
+	"sync"
+)
+
+// KernelMemory gives a kernel implementation access to the device
+// buffers named by its pointer arguments. Implementations see each
+// argument's whole allocation as a byte slice, exactly as a real kernel
+// sees raw device memory.
+type KernelMemory interface {
+	// Arg returns the backing bytes of the i-th pointer argument,
+	// starting at the argument's offset within its allocation. Mutations
+	// are visible to subsequent kernels and to device→host copies.
+	Arg(i int) ([]byte, error)
+}
+
+// KernelFunc is the host-side implementation of a kernel's data
+// transformation. It stands in for the device machine code inside a fat
+// binary: when present, launching the kernel also applies the
+// transformation to the (simulated) device buffers, so applications
+// observe real data flow end-to-end. Timing is modeled separately by
+// KernelMeta.BaseTime; a KernelFunc must not sleep.
+//
+// A nil implementation is legal: the launch is then timing-only, which
+// is all the paper's evaluation requires.
+type KernelFunc func(mem KernelMemory, scalars []uint64) error
+
+// kernel implementations are process-local, keyed by fat-binary ID and
+// kernel name — the moral equivalent of the device code being present
+// wherever the fat binary has been shipped. Both the client process and
+// a daemon process link the same workload package, so both sides have
+// the registry populated, mirroring how real fat binaries travel with
+// the application to whichever node executes them.
+var (
+	implMu sync.RWMutex
+	impls  = make(map[string]KernelFunc)
+)
+
+func implKey(binaryID, kernel string) string { return binaryID + "\x00" + kernel }
+
+// RegisterKernelImpl installs the host-side implementation for kernel
+// name within fat binary binaryID. Passing nil removes a previous
+// registration. Re-registering an identical name is allowed (packages
+// may be initialised once per process but described in several places).
+func RegisterKernelImpl(binaryID, kernel string, fn KernelFunc) {
+	implMu.Lock()
+	defer implMu.Unlock()
+	if fn == nil {
+		delete(impls, implKey(binaryID, kernel))
+		return
+	}
+	impls[implKey(binaryID, kernel)] = fn
+}
+
+// KernelImpl looks up the host-side implementation for a kernel; the
+// second result reports whether one is registered.
+func KernelImpl(binaryID, kernel string) (KernelFunc, bool) {
+	implMu.RLock()
+	defer implMu.RUnlock()
+	fn, ok := impls[implKey(binaryID, kernel)]
+	return fn, ok
+}
+
+// FindKernel returns the metadata for a kernel name within a binary.
+func (fb *FatBinary) FindKernel(name string) (KernelMeta, error) {
+	for _, k := range fb.Kernels {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return KernelMeta{}, fmt.Errorf("fat binary %q: kernel %q not registered: %w", fb.ID, name, ErrNotRegistered)
+}

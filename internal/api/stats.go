@@ -1,0 +1,51 @@
+package api
+
+import "encoding/gob"
+
+// StatsCall asks a runtime daemon for its metrics snapshot — the
+// operator-facing view of what the node is doing (the information §2
+// suggests a node may expose to guide cluster-level scheduling:
+// "number of GPUs, load level, etc.").
+type StatsCall struct{}
+
+// CallName implements Call.
+func (StatsCall) CallName() string { return "gvrtStats" }
+
+// DeviceStats is the per-device slice of RuntimeStats.
+type DeviceStats struct {
+	Index        int    `json:"index"`
+	Name         string `json:"name"`
+	Healthy      bool   `json:"healthy"`
+	BusyNS       int64  `json:"busy_ns"`
+	Launches     int64  `json:"launches"`
+	H2DBytes     int64  `json:"h2d_bytes"`
+	D2HBytes     int64  `json:"d2h_bytes"`
+	ActiveVGPUs  int    `json:"active_vgpus"`
+	VGPUs        int    `json:"vgpus"`
+	MemAvailable uint64 `json:"mem_available"`
+	Capacity     uint64 `json:"capacity"`
+}
+
+// RuntimeStats is the wire form of a runtime's metrics snapshot,
+// returned (JSON-encoded in Reply.Data) for a StatsCall.
+type RuntimeStats struct {
+	CallsServed    int64         `json:"calls_served"`
+	Binds          int64         `json:"binds"`
+	InterAppSwaps  int64         `json:"inter_app_swaps"`
+	IntraAppSwaps  int64         `json:"intra_app_swaps"`
+	SwapOps        int64         `json:"swap_ops"`
+	SwapBytes      int64         `json:"swap_bytes"`
+	Migrations     int64         `json:"migrations"`
+	Recoveries     int64         `json:"recoveries"`
+	Replays        int64         `json:"replays"`
+	DeviceFailures int64         `json:"device_failures"`
+	Offloaded      int64         `json:"offloaded"`
+	UnbindRetries  int64         `json:"unbind_retries"`
+	QueueDepth     int           `json:"queue_depth"`
+	LiveContexts   int           `json:"live_contexts"`
+	Devices        []DeviceStats `json:"devices"`
+}
+
+func init() {
+	gob.Register(StatsCall{})
+}

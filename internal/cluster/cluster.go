@@ -1,0 +1,180 @@
+// Package cluster implements the cluster-level substrate of the
+// paper's evaluation (§2, §5.4): a TORQUE-like batch resource manager
+// (the head node) dispatching jobs to compute nodes, each of which runs
+// its own CUDA runtime and — optionally — a gvrt runtime daemon.
+//
+// Two dispatch modes reproduce the paper's configurations:
+//
+//   - GPU-aware (native TORQUE + bare CUDA runtime): the head knows the
+//     number of GPUs per node and "serializes the execution of
+//     concurrent jobs by enqueuing them on the head node and submitting
+//     them to the compute nodes only when a GPU becomes available";
+//   - GPU-oblivious (TORQUE + gvrt): the GPUs are hidden from the head,
+//     which "divides the workload equally between the nodes"; sharing,
+//     queuing and (when enabled) inter-node offloading happen inside
+//     the per-node gvrt runtimes.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"gvrt/internal/core"
+	"gvrt/internal/cudart"
+	"gvrt/internal/frontend"
+	"gvrt/internal/gpu"
+	"gvrt/internal/sim"
+	"gvrt/internal/transport"
+	"gvrt/internal/workload"
+)
+
+// Node is one compute node: its GPUs, its CUDA runtime and its gvrt
+// runtime daemon.
+type Node struct {
+	Name string
+	CRT  *cudart.Runtime
+	RT   *core.Runtime
+
+	mu   sync.Mutex
+	peer *Node
+	wg   sync.WaitGroup
+}
+
+// NewNode builds a compute node with the given devices. cfg configures
+// the node's gvrt runtime; its PeerDial is wired by SetPeer, so leave
+// it nil.
+func NewNode(name string, clock *sim.Clock, specs []gpu.Spec, cfg core.Config) (*Node, error) {
+	devs := make([]*gpu.Device, len(specs))
+	for i, s := range specs {
+		devs[i] = gpu.NewDevice(i, s, clock)
+	}
+	crt := cudart.New(clock, devs...)
+	n := &Node{Name: name, CRT: crt}
+	if cfg.PeerDial == nil {
+		cfg.PeerDial = n.dialPeer
+	}
+	rt, err := core.New(crt, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %s: %w", name, err)
+	}
+	n.RT = rt
+	return n, nil
+}
+
+// SetPeer wires the offload target (§4.7). A node with no peer serves
+// everything locally.
+func (n *Node) SetPeer(peer *Node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peer = peer
+}
+
+// dialPeer opens a connection to the peer node's runtime, used by the
+// offloading proxy.
+func (n *Node) dialPeer() (transport.Conn, error) {
+	n.mu.Lock()
+	peer := n.peer
+	n.mu.Unlock()
+	if peer == nil {
+		return nil, fmt.Errorf("cluster: node %s has no offload peer", n.Name)
+	}
+	c, s := transport.Pipe()
+	peer.wg.Add(1)
+	go func() {
+		defer peer.wg.Done()
+		// Offloaded threads are served directly (they are not
+		// re-offloaded: the paper's offloading is one hop).
+		peer.RT.Serve(s)
+	}()
+	return c, nil
+}
+
+// Connect opens a gvrt client connection to this node, routed through
+// the connection manager so the offloading decision applies.
+func (n *Node) Connect() (workload.CUDA, error) {
+	c, s := transport.Pipe()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.RT.HandleConn(s)
+	}()
+	return frontend.Connect(c), nil
+}
+
+// ConnectBare opens a bare CUDA runtime client on the given local
+// device (the native-TORQUE baseline path).
+func (n *Node) ConnectBare(device int) (workload.CUDA, error) {
+	return workload.NewBareClient(n.CRT, device)
+}
+
+// GPUs reports the node's physical device count.
+func (n *Node) GPUs() int { return n.CRT.DeviceCount() }
+
+// Close shuts the node down after all in-flight connections drain.
+func (n *Node) Close() {
+	n.RT.Close()
+	n.wg.Wait()
+}
+
+// Head is the TORQUE-like cluster resource manager.
+type Head struct {
+	clock *sim.Clock
+	nodes []*Node
+}
+
+// NewHead builds a head managing the given compute nodes.
+func NewHead(clock *sim.Clock, nodes ...*Node) *Head {
+	return &Head{clock: clock, nodes: nodes}
+}
+
+// Nodes returns the managed nodes.
+func (h *Head) Nodes() []*Node { return h.nodes }
+
+// RunOblivious dispatches a batch in the GPU-oblivious mode: jobs are
+// split between the nodes round-robin ("TORQUE ... divides the workload
+// equally between the two nodes", §5.4) and all submitted immediately;
+// each node's gvrt runtime does the fine-grained scheduling.
+func (h *Head) RunOblivious(apps []workload.App) workload.BatchResult {
+	return workload.RunBatch(h.clock, apps, func(i int) (workload.CUDA, error) {
+		return h.nodes[i%len(h.nodes)].Connect()
+	})
+}
+
+// RunGPUAware dispatches a batch in the native-TORQUE mode: the head
+// holds jobs in its queue and releases each to a compute node only when
+// one of that node's GPUs is free, running it on the bare CUDA runtime.
+func (h *Head) RunGPUAware(apps []workload.App) workload.BatchResult {
+	type slot struct {
+		node   *Node
+		device int
+	}
+	slots := make(chan slot, 64)
+	for _, n := range h.nodes {
+		for d := 0; d < n.GPUs(); d++ {
+			slots <- slot{node: n, device: d}
+		}
+	}
+	return workload.RunBatch(h.clock, apps, func(i int) (workload.CUDA, error) {
+		s := <-slots
+		c, err := s.node.ConnectBare(s.device)
+		if err != nil {
+			slots <- s
+			return nil, err
+		}
+		return &releasing{CUDA: c, release: func() { slots <- s }}, nil
+	})
+}
+
+// releasing wraps a client to return its GPU slot to the head's pool
+// when the job completes.
+type releasing struct {
+	workload.CUDA
+	release func()
+	once    sync.Once
+}
+
+func (r *releasing) Close() error {
+	err := r.CUDA.Close()
+	r.once.Do(r.release)
+	return err
+}

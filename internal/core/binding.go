@@ -1,0 +1,359 @@
+package core
+
+import (
+	"gvrt/internal/api"
+	"gvrt/internal/gpu"
+	"gvrt/internal/sched"
+	"gvrt/internal/trace"
+)
+
+// This file implements dynamic application→GPU binding (§4.3/§4.4):
+// delayed binding at first kernel launch, the waiting-contexts list,
+// vGPU release and hand-off, and load balancing through migration
+// (§5.3.4).
+
+// bind attaches the context to a free virtual GPU, blocking on the
+// waiting list when none is available. The scheduling policy chooses
+// both the device (when several have a free vGPU) and, on release, the
+// next waiter.
+func (rt *Runtime) bind(ctx *Context) error {
+	rt.mu.Lock()
+	for {
+		if rt.closed {
+			rt.mu.Unlock()
+			return api.ErrNoDevice
+		}
+		if v := rt.pickFreeVGPULocked(ctx); v != nil {
+			v.bound = ctx
+			ctx.vgpu = v
+			rt.mu.Unlock()
+			return rt.onBind(ctx, v)
+		}
+		if !rt.anyHealthyLocked() {
+			rt.mu.Unlock()
+			return api.ErrNoDevice
+		}
+		// Park on the waiting-contexts list until a release grants us a
+		// vGPU (§4.3: "application threads are enqueued in the list of
+		// waiting contexts for later scheduling").
+		ctx.inWaiting = true
+		ctx.granted = nil
+		ctx.arrived = rt.clock.Now()
+		rt.waiting = append(rt.waiting, ctx)
+		for ctx.granted == nil && !rt.closed {
+			rt.cond.Wait()
+		}
+		v := ctx.granted
+		ctx.granted = nil
+		if rt.closed {
+			if v != nil {
+				v.bound = nil
+			}
+			rt.mu.Unlock()
+			return api.ErrNoDevice
+		}
+		ctx.vgpu = v
+		rt.mu.Unlock()
+		return rt.onBind(ctx, v)
+	}
+}
+
+// onBind completes a binding outside rt.mu: the application's fat
+// binaries are registered with the vGPU's CUDA context (the dispatcher
+// issues registration functions before any kernel work, §4.3).
+func (rt *Runtime) onBind(ctx *Context, v *vGPU) error {
+	rt.binds.Add(1)
+	rt.logf("ctx %d (%s) bound to %s", ctx.id, ctx.label, v.name)
+	rt.event(trace.KindBind, ctx.id, 0, v.ds.index, v.name)
+	for _, fb := range ctx.binaries {
+		if err := v.cuctx.RegisterFatBinary(fb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// anyHealthyLocked reports whether any device can still serve.
+func (rt *Runtime) anyHealthyLocked() bool {
+	for _, ds := range rt.devs {
+		if ds.healthy {
+			return true
+		}
+	}
+	return false
+}
+
+// siblingDeviceLocked returns the device a bound thread of the same
+// application occupies, if any (§4.8: threads of one application share
+// data and must land on one device). Caller holds rt.mu.
+func (rt *Runtime) siblingDeviceLocked(ctx *Context) *deviceState {
+	if ctx.appID == "" {
+		return nil
+	}
+	for _, other := range rt.ctxs {
+		if other == ctx || other.appID != ctx.appID {
+			continue
+		}
+		if other.vgpu != nil {
+			return other.vgpu.ds
+		}
+	}
+	return nil
+}
+
+// pickFreeVGPULocked asks the policy to choose among devices that have
+// a free vGPU. A context whose application already has a bound sibling
+// thread is constrained to the sibling's device (§4.8).
+func (rt *Runtime) pickFreeVGPULocked(ctx *Context) *vGPU {
+	if sib := rt.siblingDeviceLocked(ctx); sib != nil {
+		if sib.healthy {
+			return sib.freeVGPU()
+		}
+		return nil
+	}
+	var loads []sched.DeviceLoad
+	var states []*deviceState
+	for _, ds := range rt.devs {
+		if !ds.healthy || ds.freeVGPU() == nil {
+			continue
+		}
+		loads = append(loads, sched.DeviceLoad{
+			Index:        ds.index,
+			Speed:        ds.dev.Spec().Speed,
+			FreeVGPUs:    len(ds.vgpus) - ds.activeVGPUs(),
+			ActiveVGPUs:  ds.activeVGPUs(),
+			MemAvailable: ds.dev.Available(),
+		})
+		states = append(states, ds)
+	}
+	if len(loads) == 0 {
+		return nil
+	}
+	i := rt.policy.PickDevice(ctx.waiterInfo(), loads)
+	if i < 0 || i >= len(states) {
+		return nil
+	}
+	return states[i].freeVGPU()
+}
+
+// dropWaiterLocked removes a context from the waiting list.
+func (rt *Runtime) dropWaiterLocked(ctx *Context) {
+	for i, w := range rt.waiting {
+		if w == ctx {
+			rt.waiting = append(rt.waiting[:i], rt.waiting[i+1:]...)
+			break
+		}
+	}
+	ctx.inWaiting = false
+}
+
+// releaseVGPULocked frees a vGPU and hands it to the policy-chosen
+// waiter; with nobody waiting and migration enabled, it tries to
+// migrate a job from a slower device instead (§5.3.4: "the dispatcher
+// keeps track of fast GPUs becoming idle, and, in the absence of
+// pending jobs, it migrates running jobs from slow to fast GPUs").
+func (rt *Runtime) releaseVGPULocked(v *vGPU) {
+	v.bound = nil
+	if v.dead || !v.ds.healthy {
+		return
+	}
+	// Waiters whose application has a bound sibling elsewhere must not
+	// take this slot (§4.8); filter them before asking the policy.
+	var eligible []int
+	for i, w := range rt.waiting {
+		if sib := rt.siblingDeviceLocked(w); sib != nil && sib != v.ds {
+			continue
+		}
+		eligible = append(eligible, i)
+	}
+	if len(eligible) > 0 {
+		infos := make([]sched.Waiter, len(eligible))
+		for k, i := range eligible {
+			infos[k] = rt.waiting[i].waiterInfo()
+		}
+		k := rt.policy.PickWaiter(infos)
+		if k < 0 || k >= len(eligible) {
+			k = 0
+		}
+		i := eligible[k]
+		w := rt.waiting[i]
+		rt.waiting = append(rt.waiting[:i], rt.waiting[i+1:]...)
+		w.inWaiting = false
+		w.granted = v
+		v.bound = w
+		rt.cond.Broadcast()
+		return
+	}
+	if rt.cfg.EnableMigration {
+		rt.tryMigrateLocked(v, 0)
+	}
+}
+
+// tryMigrateLocked attempts to move a context bound to a slower device
+// onto the freed vGPU v. The victim must be idle (its service lock
+// acquired without blocking — i.e. it is in a CPU phase) and not
+// pinned. Called with rt.mu held; temporarily releases it for the swap.
+func (rt *Runtime) tryMigrateLocked(v *vGPU, depth int) {
+	if depth > 4 {
+		return
+	}
+	speed := v.ds.dev.Spec().Speed
+	var victim *Context
+	var oldV *vGPU
+	// Prefer the longest-idle context on the slowest device; only
+	// contexts genuinely in a CPU phase are eligible.
+	now := int64(rt.clock.Now())
+	minIdle := int64(rt.cfg.minVictimIdle())
+	bestIdle := int64(-1)
+	var locked *Context
+	for _, ds := range rt.devs {
+		if !ds.healthy || ds.dev.Spec().Speed >= speed {
+			continue
+		}
+		for _, cand := range ds.vgpus {
+			c := cand.bound
+			// Threads of a multi-threaded application are not migrated
+			// independently (§4.8: they may share device data).
+			if c == nil || c.pinned || c.exited || c.appID != "" {
+				continue
+			}
+			idle := c.lastActiveNS.Load()
+			if now-idle < minIdle {
+				continue
+			}
+			if bestIdle == -1 || idle < bestIdle {
+				if c.mu.TryLock() {
+					if locked != nil {
+						locked.mu.Unlock()
+					}
+					locked = c
+					victim = c
+					oldV = cand
+					bestIdle = idle
+				}
+			}
+		}
+	}
+	if victim == nil {
+		return
+	}
+	// Reserve the destination slot and commit intent before unlocking
+	// the runtime for the slow swap work.
+	v.bound = victim
+	rt.mu.Unlock()
+
+	err := func() error {
+		if _, err := rt.mm.SwapOutAll(victim.id, oldV.cuctx); err != nil {
+			return err
+		}
+		victim.clearReplay() // swap-out flushed everything: checkpoint
+		for _, fb := range victim.binaries {
+			if err := v.cuctx.RegisterFatBinary(fb); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+
+	rt.mu.Lock()
+	if err != nil {
+		// Migration failed (e.g. source device died mid-swap); leave
+		// the victim unbound so its own recovery path kicks in.
+		rt.logf("migration of ctx %d failed: %v", victim.id, err)
+		v.bound = nil
+		if victim.vgpu == oldV {
+			victim.vgpu = nil
+			victim.needsRecovery = true
+			oldV.bound = nil
+		}
+		victim.mu.Unlock()
+		return
+	}
+	victim.vgpu = v
+	oldV.bound = nil
+	rt.migrations.Add(1)
+	rt.logf("migrated ctx %d from %s to %s", victim.id, oldV.name, v.name)
+	rt.event(trace.KindMigration, victim.id, 0, v.ds.index, oldV.name+" -> "+v.name)
+	victim.mu.Unlock()
+	// The old (slower) slot is now free; cascade.
+	rt.releaseVGPULocked(oldV)
+	_ = depth
+}
+
+// AddDevice hot-adds a physical GPU (dynamic upgrade, §2): vGPUs are
+// created for it and waiting contexts — or, with migration enabled,
+// jobs on slower devices — immediately benefit.
+func (rt *Runtime) AddDevice(d *gpu.Device) (int, error) {
+	idx := rt.crt.AddDevice(d)
+	if err := rt.addDeviceState(idx); err != nil {
+		return idx, err
+	}
+	rt.mu.Lock()
+	ds := rt.devs[len(rt.devs)-1]
+	for _, v := range ds.vgpus {
+		if v.bound == nil {
+			rt.releaseVGPULocked(v)
+		}
+	}
+	rt.mu.Unlock()
+	return idx, nil
+}
+
+// RemoveDevice gracefully drains a device (dynamic downgrade, §2):
+// bound contexts are checkpointed to swap and unbound, then the device
+// is marked removed. Their next kernel launches re-bind elsewhere.
+func (rt *Runtime) RemoveDevice(index int) error {
+	rt.mu.Lock()
+	var ds *deviceState
+	for _, d := range rt.devs {
+		if d.index == index {
+			ds = d
+			break
+		}
+	}
+	if ds == nil {
+		rt.mu.Unlock()
+		return api.ErrInvalidDevice
+	}
+	ds.healthy = false // no new binds
+	vgpus := append([]*vGPU(nil), ds.vgpus...)
+	rt.mu.Unlock()
+
+	for _, v := range vgpus {
+		rt.mu.Lock()
+		c := v.bound
+		rt.mu.Unlock()
+		if c == nil {
+			rt.mu.Lock()
+			v.dead = true
+			rt.mu.Unlock()
+			continue
+		}
+		// Blocking acquisition is safe here: this is an administrative
+		// goroutine holding no other locks.
+		c.mu.Lock()
+		rt.mu.Lock()
+		still := c.vgpu == v
+		rt.mu.Unlock()
+		if still {
+			if _, err := rt.mm.SwapOutAll(c.id, v.cuctx); err != nil {
+				// Device died during graceful removal; fall back to the
+				// failure path.
+				rt.mm.InvalidateResidency(c.id)
+			}
+			c.clearReplay()
+			rt.mu.Lock()
+			c.vgpu = nil
+			v.bound = nil
+			v.dead = true
+			rt.mu.Unlock()
+		} else {
+			rt.mu.Lock()
+			v.dead = true
+			rt.mu.Unlock()
+		}
+		c.mu.Unlock()
+	}
+	ds.dev.MarkRemoved()
+	return nil
+}

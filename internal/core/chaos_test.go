@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gvrt/internal/api"
+	"gvrt/internal/gpu"
+	"gvrt/internal/sim"
+)
+
+// TestChaos runs a storm of concurrent applications against a runtime
+// while devices fail, recover (as fresh hot-added hardware), and jobs
+// compete for memory — then checks the global invariants:
+//
+//   - every job either completes with correct data or fails with a
+//     resource error (never a corruption, hang, or unexpected code);
+//   - after everything exits, no device memory is leaked;
+//   - the runtime serves a fresh client normally afterwards.
+//
+// The test is randomized but deterministic per seed.
+func TestChaos(t *testing.T) {
+	const (
+		jobs       = 32
+		kernelsPer = 6
+	)
+	env := newEnv(t, Config{VGPUsPerDevice: 2, AutoCheckpoint: 5 * time.Millisecond},
+		smallSpec(1<<20, 1), smallSpec(1<<20, 0.5), smallSpec(1<<20, 0.8))
+
+	var completed, failed atomic.Int64
+	var wg sync.WaitGroup
+
+	// The saboteur: keeps killing and replacing devices while jobs run.
+	stop := make(chan struct{})
+	var sabWg sync.WaitGroup
+	sabWg.Add(1)
+	go func() {
+		defer sabWg.Done()
+		rng := sim.NewRNG(7)
+		next := 3
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(3 * time.Millisecond):
+			}
+			env.rt.mu.Lock()
+			var healthy []*deviceState
+			for _, ds := range env.rt.devs {
+				if ds.healthy {
+					healthy = append(healthy, ds)
+				}
+			}
+			env.rt.mu.Unlock()
+			if len(healthy) <= 1 {
+				// Always keep at least one device alive, and top the
+				// node back up with fresh hardware.
+				d := gpu.NewDevice(next, smallSpec(1<<20, 1), env.clock)
+				if _, err := env.rt.AddDevice(d); err != nil {
+					t.Errorf("AddDevice: %v", err)
+					return
+				}
+				next++
+				continue
+			}
+			victim := healthy[rng.Intn(len(healthy))]
+			env.rt.FailDevice(victim.index)
+		}
+	}()
+
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			c := env.client()
+			defer c.Close()
+			if err := c.RegisterFatBinary(testBinary()); err != nil {
+				failed.Add(1)
+				return
+			}
+			// Each job carries 4 bytes of real data plus a chunk of
+			// modeled memory to create pressure.
+			p, err := c.Malloc(64 << 10)
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			seed := byte(j)
+			if err := c.MemcpyHD(p, []byte{seed, seed, seed, seed}); err != nil {
+				failed.Add(1)
+				return
+			}
+			for k := 0; k < kernelsPer; k++ {
+				if err := c.Launch(api.LaunchCall{Kernel: "inc", PtrArgs: []api.DevPtr{p}, Scalars: []uint64{4}}); err != nil {
+					// Acceptable only when the whole node ran out of
+					// devices mid-call.
+					if code := api.Code(err); code != api.ErrNoDevice && code != api.ErrDeviceUnavailable {
+						t.Errorf("job %d kernel %d: unexpected error %v", j, k, err)
+					}
+					failed.Add(1)
+					return
+				}
+			}
+			out, err := c.MemcpyDH(p, 4)
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			want := seed + kernelsPer
+			for i := 0; i < 4; i++ {
+				if out[i] != want {
+					t.Errorf("job %d: data = %v, want %d each (CORRUPTION)", j, out, want)
+					failed.Add(1)
+					return
+				}
+			}
+			completed.Add(1)
+		}(j)
+	}
+	wg.Wait()
+	close(stop)
+	sabWg.Wait()
+	env.wg.Wait()
+
+	t.Logf("chaos: %d completed, %d failed-clean; metrics: %+v",
+		completed.Load(), failed.Load(), env.rt.Metrics())
+	if completed.Load() == 0 {
+		t.Error("no job survived the chaos; recovery is not working")
+	}
+
+	// No leaks on healthy devices: everything the jobs held is back.
+	env.rt.mu.Lock()
+	var leaks []string
+	for _, ds := range env.rt.devs {
+		if !ds.healthy {
+			continue
+		}
+		want := ds.dev.Capacity() - uint64(len(ds.vgpus))*1024
+		if got := ds.dev.Available(); got != want {
+			leaks = append(leaks, fmt.Sprintf("dev %d: %d != %d", ds.index, got, want))
+		}
+	}
+	env.rt.mu.Unlock()
+	if len(leaks) > 0 {
+		t.Errorf("device memory leaked after chaos: %v", leaks)
+	}
+
+	// The runtime still serves new work.
+	c := env.client()
+	defer c.Close()
+	if err := c.RegisterFatBinary(testBinary()); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Malloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Launch(api.LaunchCall{Kernel: "inc", PtrArgs: []api.DevPtr{p}, Scalars: []uint64{0}}); err != nil {
+		t.Fatalf("post-chaos launch: %v", err)
+	}
+}

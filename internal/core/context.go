@@ -1,0 +1,408 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gvrt/internal/api"
+	"gvrt/internal/memmgr"
+	"gvrt/internal/sched"
+	"gvrt/internal/trace"
+	"gvrt/internal/transport"
+)
+
+// Context is the runtime-side representation of one application thread
+// (§4.6's Context structure): its connection, registered binaries, the
+// replay log since the last checkpoint, binding state and accounting.
+//
+// Locking: mu is the service lock — the context's dispatcher goroutine
+// holds it for the duration of each call, and other parties
+// (inter-application swap, migration, device removal) acquire it before
+// touching the context's page-table entries. Binding fields (vgpu,
+// granted, waiting membership, needsRecovery) are guarded by the
+// runtime mutex. The *Time fields are atomics because scheduling
+// policies read them while the owner updates them.
+type Context struct {
+	id    int64
+	rt    *Runtime
+	label string
+
+	mu sync.Mutex
+
+	// Guarded by rt.mu.
+	appID         string
+	vgpu          *vGPU
+	granted       *vGPU
+	grantRejected bool
+	inWaiting     bool
+	needsRecovery bool
+	exited        bool
+	arrived       time.Duration
+
+	// Owner-goroutine state (under mu).
+	binaries   map[string]api.FatBinary
+	replay     []api.LaunchCall
+	replayRefs map[api.DevPtr]bool
+	// pinned marks contexts excluded from sharing and dynamic
+	// scheduling because their kernels allocate device memory
+	// dynamically (§1).
+	pinned bool
+
+	gpuTimeNS    atomic.Int64
+	nextKernelNS atomic.Int64
+	lastActiveNS atomic.Int64
+	deadlineNS   atomic.Int64
+}
+
+// ID returns the context identifier.
+func (c *Context) ID() int64 { return c.id }
+
+func (c *Context) gpuTime() time.Duration    { return time.Duration(c.gpuTimeNS.Load()) }
+func (c *Context) nextKernel() time.Duration { return time.Duration(c.nextKernelNS.Load()) }
+
+// waiterInfo builds the policy-visible view of the context. Callers
+// hold rt.mu.
+func (c *Context) waiterInfo() sched.Waiter {
+	return sched.Waiter{
+		CtxID:           c.id,
+		Arrived:         c.arrived,
+		NextKernelTime:  c.nextKernel(),
+		ConsumedGPUTime: c.gpuTime(),
+		MemDemand:       c.rt.mm.UsageOf(c.id),
+		Deadline:        time.Duration(c.deadlineNS.Load()),
+	}
+}
+
+// newContext registers a fresh context with the runtime.
+func (rt *Runtime) newContext(label string) *Context {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.nextCtx++
+	ctx := &Context{
+		id:         rt.nextCtx,
+		rt:         rt,
+		label:      label,
+		binaries:   make(map[string]api.FatBinary),
+		replayRefs: make(map[api.DevPtr]bool),
+	}
+	rt.ctxs[ctx.id] = ctx
+	rt.event(trace.KindConnect, ctx.id, 0, -1, label)
+	return ctx
+}
+
+// Serve runs the dispatcher loop for one connection until the client
+// exits or the connection drops. It is the per-connection body of the
+// paper's multithreaded dispatcher (§4.3): call Serve on its own
+// goroutine per accepted connection.
+func (rt *Runtime) Serve(sc transport.ServerConn) {
+	rt.ServeLabeled(sc, "")
+}
+
+// ServeLabeled is Serve with a diagnostic label attached to the context.
+func (rt *Runtime) ServeLabeled(sc transport.ServerConn, label string) {
+	ctx := rt.newContext(label)
+	defer rt.teardown(ctx)
+	for {
+		call, err := sc.Recv()
+		if err != nil {
+			return
+		}
+		// Framework overhead: interception, queuing, scheduling (§5:
+		// "all the overheads introduced by our framework").
+		rt.clock.Sleep(rt.cfg.overhead())
+		rt.calls.Add(1)
+
+		reply := func() api.Reply {
+			// The service lock is released via defer so that even a
+			// panic escaping a handler cannot leave the context locked
+			// and deadlock teardown.
+			ctx.mu.Lock()
+			defer ctx.mu.Unlock()
+			defer ctx.lastActiveNS.Store(int64(rt.clock.Now()))
+			return rt.handle(ctx, call)
+		}()
+
+		if err := sc.Reply(reply); err != nil {
+			return
+		}
+		if _, isExit := call.(api.ExitCall); isExit {
+			return
+		}
+	}
+}
+
+// teardown releases everything a finished or disconnected context holds.
+func (rt *Runtime) teardown(ctx *Context) {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	var ops memmgr.DeviceOps
+	rt.mu.Lock()
+	ctx.exited = true
+	if ctx.inWaiting {
+		rt.dropWaiterLocked(ctx)
+	}
+	v := ctx.vgpu
+	rt.mu.Unlock()
+	if v != nil {
+		ops = v.cuctx
+	}
+	rt.mm.ReleaseContext(ctx.id, ops)
+	if v != nil {
+		rt.mu.Lock()
+		ctx.vgpu = nil
+		rt.releaseVGPULocked(v)
+		rt.mu.Unlock()
+	}
+	rt.mu.Lock()
+	delete(rt.ctxs, ctx.id)
+	rt.mu.Unlock()
+	rt.event(trace.KindExit, ctx.id, 0, -1, "")
+}
+
+// handle services one call; the caller holds ctx.mu.
+func (rt *Runtime) handle(ctx *Context, call api.Call) api.Reply {
+	switch c := call.(type) {
+	case api.RegisterFatBinaryCall:
+		// Registration functions are issued ahead of binding (§4.3);
+		// the binary reaches the bound vGPU's CUDA context at bind
+		// time, or immediately if already bound. Kernel attributes the
+		// toolchain did not set are derived from the shipped PTX (§1).
+		api.AnnotateFromPTX(&c.Binary)
+		ctx.binaries[c.Binary.ID] = c.Binary
+		if v := rt.boundVGPU(ctx); v != nil {
+			if err := v.cuctx.RegisterFatBinary(c.Binary); err != nil {
+				return api.Reply{Code: api.Code(err)}
+			}
+		}
+		return api.Reply{}
+
+	case api.MallocCall:
+		kind := memmgr.KindLinear
+		switch c.Kind {
+		case api.AllocPitched:
+			kind = memmgr.KindPitched
+		case api.AllocArray:
+			kind = memmgr.KindArray
+		}
+		ptr, err := rt.mm.Malloc(ctx.id, c.Size, kind)
+		return api.Reply{Code: api.Code(err), Ptr: ptr}
+
+	case api.FreeCall:
+		pte, off, err := rt.mm.Resolve(c.Ptr)
+		if err != nil || off != 0 || pte.CtxID() != ctx.id {
+			return api.Reply{Code: api.ErrInvalidDevicePointer}
+		}
+		err = rt.deviceOp(ctx, func() error {
+			return rt.mm.Free(pte, rt.boundOps(ctx))
+		})
+		return api.Reply{Code: api.Code(err)}
+
+	case api.MemsetCall:
+		pte, off, err := rt.mm.Resolve(c.Dst)
+		if err != nil || pte.CtxID() != ctx.id {
+			return api.Reply{Code: api.ErrInvalidDevicePointer}
+		}
+		if ctx.replayRefs[pte.Virtual] {
+			if cerr := rt.checkpoint(ctx); cerr != nil {
+				return api.Reply{Code: api.Code(cerr)}
+			}
+		}
+		err = rt.deviceOp(ctx, func() error {
+			return rt.mm.Memset(pte, off, c.Value, c.Size, rt.boundOps(ctx))
+		})
+		return api.Reply{Code: api.Code(err)}
+
+	case api.MemcpyHDCall:
+		pte, off, err := rt.mm.Resolve(c.Dst)
+		if err != nil || pte.CtxID() != ctx.id {
+			return api.Reply{Code: api.ErrInvalidDevicePointer}
+		}
+		// A host write over a buffer referenced by the replay log
+		// would corrupt a later replay; checkpoint first so the log
+		// empties (§4.6).
+		if ctx.replayRefs[pte.Virtual] {
+			if cerr := rt.checkpoint(ctx); cerr != nil {
+				return api.Reply{Code: api.Code(cerr)}
+			}
+		}
+		err = rt.deviceOp(ctx, func() error {
+			return rt.mm.CopyHD(pte, off, c.Data, c.Size, rt.boundOps(ctx))
+		})
+		return api.Reply{Code: api.Code(err)}
+
+	case api.MemcpyDHCall:
+		pte, off, err := rt.mm.Resolve(c.Src)
+		if err != nil || pte.CtxID() != ctx.id {
+			return api.Reply{Code: api.ErrInvalidDevicePointer}
+		}
+		var data []byte
+		err = rt.deviceOp(ctx, func() error {
+			var e error
+			data, e = rt.mm.CopyDH(pte, off, c.Size, rt.boundOps(ctx))
+			return e
+		})
+		return api.Reply{Code: api.Code(err), Data: data}
+
+	case api.MemcpyDDCall:
+		return api.Reply{Code: api.Code(rt.memcpyDD(ctx, c))}
+
+	case api.LaunchCall:
+		return api.Reply{Code: api.Code(rt.launch(ctx, c))}
+
+	case api.SetDeviceCall:
+		// Ignored: device procurement is abstracted away (§4.3).
+		return api.Reply{}
+
+	case api.GetDeviceCountCall:
+		// Overridden: applications see virtual, not physical, GPUs.
+		return api.Reply{Count: rt.VGPUCount()}
+
+	case api.SynchronizeCall:
+		if v := rt.boundVGPU(ctx); v != nil {
+			return api.Reply{Code: api.Code(rt.deviceOp(ctx, func() error {
+				if v := rt.boundVGPU(ctx); v != nil {
+					return v.cuctx.Synchronize()
+				}
+				return nil
+			}))}
+		}
+		return api.Reply{}
+
+	case api.SetDeadlineCall:
+		// QoS hint (§2): record the absolute model-time deadline for
+		// deadline-aware waiting-list policies.
+		if c.Relative > 0 {
+			ctx.deadlineNS.Store(int64(rt.clock.Now() + c.Relative))
+		} else {
+			ctx.deadlineNS.Store(0)
+		}
+		return api.Reply{}
+
+	case api.SetAppIDCall:
+		// CUDA 4.0 compatibility (§4.8): remember which application
+		// this thread belongs to, so sibling threads — which may share
+		// data on the GPU — are bound to the same physical device.
+		rt.mu.Lock()
+		ctx.appID = c.AppID
+		rt.mu.Unlock()
+		return api.Reply{}
+
+	case api.RegisterNestedCall:
+		parent, off, err := rt.mm.Resolve(c.Parent)
+		if err != nil || off != 0 || parent.CtxID() != ctx.id {
+			return api.Reply{Code: api.ErrInvalidDevicePointer}
+		}
+		return api.Reply{Code: api.Code(rt.mm.RegisterNested(parent, c.Members, c.Offsets))}
+
+	case api.StatsCall:
+		data, err := json.Marshal(rt.wireStats())
+		if err != nil {
+			return api.Reply{Code: api.ErrInvalidValue}
+		}
+		return api.Reply{Data: data}
+
+	case api.GetSessionCall:
+		return api.Reply{ID: ctx.id}
+
+	case api.ResumeCall:
+		return api.Reply{Code: rt.resume(ctx, c.ID)}
+
+	case api.CheckpointCall:
+		return api.Reply{Code: api.Code(rt.checkpoint(ctx))}
+
+	case api.ExitCall:
+		return api.Reply{}
+
+	default:
+		return api.Reply{Code: api.ErrInvalidValue}
+	}
+}
+
+// memcpyDD routes a device-to-device copy through the swap area so it
+// works across residency states.
+func (rt *Runtime) memcpyDD(ctx *Context, c api.MemcpyDDCall) error {
+	src, soff, err := rt.mm.Resolve(c.Src)
+	if err != nil || src.CtxID() != ctx.id {
+		return api.ErrInvalidDevicePointer
+	}
+	dst, doff, err := rt.mm.Resolve(c.Dst)
+	if err != nil || dst.CtxID() != ctx.id {
+		return api.ErrInvalidDevicePointer
+	}
+	var data []byte
+	if err := rt.deviceOp(ctx, func() error {
+		var e error
+		data, e = rt.mm.CopyDH(src, soff, c.Size, rt.boundOps(ctx))
+		return e
+	}); err != nil {
+		return err
+	}
+	return rt.deviceOp(ctx, func() error {
+		return rt.mm.CopyHD(dst, doff, data, c.Size, rt.boundOps(ctx))
+	})
+}
+
+// boundVGPU returns the context's vGPU under rt.mu.
+func (rt *Runtime) boundVGPU(ctx *Context) *vGPU {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return ctx.vgpu
+}
+
+// boundOps returns the context's device operations, or nil when
+// unbound (memory-manager calls then defer everything to swap).
+func (rt *Runtime) boundOps(ctx *Context) memmgr.DeviceOps {
+	if v := rt.boundVGPU(ctx); v != nil {
+		return v.cuctx
+	}
+	return nil
+}
+
+// checkpoint flushes the context's dirty entries to swap and clears the
+// replay log (§4.6): after it, the page table plus swap area fully
+// capture the device state.
+func (rt *Runtime) checkpoint(ctx *Context) error {
+	if v := rt.boundVGPU(ctx); v != nil {
+		err := rt.deviceOp(ctx, func() error {
+			if v := rt.boundVGPU(ctx); v != nil {
+				_, e := rt.mm.Checkpoint(ctx.id, v.cuctx)
+				return e
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		rt.event(trace.KindCheckpoint, ctx.id, 0, v.ds.index, "")
+	}
+	ctx.clearReplay()
+	return nil
+}
+
+func (ctx *Context) clearReplay() {
+	ctx.replay = ctx.replay[:0]
+	for k := range ctx.replayRefs {
+		delete(ctx.replayRefs, k)
+	}
+}
+
+// deviceOp runs a device-touching operation with transparent failure
+// recovery: when the bound device dies mid-operation, the context is
+// recovered onto another device (§4.6) and the operation retried.
+func (rt *Runtime) deviceOp(ctx *Context, f func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := f()
+		if !errors.Is(err, api.ErrDeviceUnavailable) {
+			return err
+		}
+		if attempt > 8 {
+			return err
+		}
+		if rerr := rt.recover(ctx); rerr != nil {
+			return rerr
+		}
+	}
+}

@@ -1,0 +1,496 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"gvrt/internal/api"
+	"gvrt/internal/memmgr"
+	"gvrt/internal/trace"
+)
+
+// This file implements the kernel-launch path: delayed binding, the
+// launch-row actions of Table 1 (device allocation + deferred bulk
+// transfers), intra- and inter-application swapping (§4.5), the
+// unbind-and-retry fallback, and failure recovery by replay (§4.6).
+
+// launch services a cudaLaunch. The caller holds ctx.mu.
+func (rt *Runtime) launch(ctx *Context, call api.LaunchCall) error {
+	meta, _, err := ctx.findKernel(call.Kernel)
+	if err != nil {
+		return err
+	}
+	if meta.UsesDynamicAlloc && !ctx.pinned {
+		// Applications that allocate device memory from kernels are
+		// served but excluded from sharing and dynamic scheduling (§1).
+		ctx.pinned = true
+		rt.logf("ctx %d pinned: kernel %s uses dynamic device allocation", ctx.id, call.Kernel)
+	}
+	if meta.UsesNestedPointers {
+		// Nested traversals require registered nested structures; the
+		// runtime accepts the launch either way, but unregistered use
+		// would break pointer consistency, so validate eagerly.
+		if !ctx.hasNestedRegistration(call.PtrArgs) {
+			return api.ErrUnsupported
+		}
+	}
+
+	// Resolve the virtual pointer arguments; a bad pointer is rejected
+	// here, before ever reaching the device (§4.5).
+	ptes := make([]*memmgr.PTE, len(call.PtrArgs))
+	offs := make([]uint64, len(call.PtrArgs))
+	for i, p := range call.PtrArgs {
+		pte, off, err := rt.mm.Resolve(p)
+		if err != nil || pte.CtxID() != ctx.id {
+			return api.ErrInvalidDevicePointer
+		}
+		ptes[i], offs[i] = pte, off
+	}
+
+	kernelTime := time.Duration(call.Launches()) * meta.BaseTime
+	ctx.nextKernelNS.Store(int64(kernelTime))
+
+	// The launch's working set must fit the most capable device — the
+	// runtime's standing assumption (§6, Related Work discussion).
+	if err := rt.checkFits(ptes); err != nil {
+		return err
+	}
+
+	for attempt := 0; ; attempt++ {
+		if rt.cfg.MaxBindAttempts > 0 && attempt >= rt.cfg.MaxBindAttempts {
+			return api.ErrMemoryAllocation
+		}
+		if err := rt.ensureBound(ctx); err != nil {
+			return err
+		}
+		v := rt.boundVGPU(ctx)
+
+		switch err := rt.ensureResident(ctx, v, ptes); {
+		case err == nil:
+			// Residency achieved; run the kernel.
+		case errors.Is(err, api.ErrDeviceUnavailable):
+			if rerr := rt.recover(ctx); rerr != nil {
+				return rerr
+			}
+			continue
+		case errors.Is(err, api.ErrMemoryAllocation):
+			// Could not acquire memory on this device even after
+			// swapping: unbind and retry later, possibly on another
+			// device (§4.5). Backoff grows with consecutive failures
+			// so conflicting applications do not thrash the swap area.
+			rt.unbindSelf(ctx, v)
+			rt.unbindRetries.Add(1)
+			mult := attempt + 1
+			if mult > 8 {
+				mult = 8
+			}
+			rt.clock.Sleep(rt.cfg.backoff() * time.Duration(mult))
+			continue
+		default:
+			return err
+		}
+
+		devCall := call
+		devCall.PtrArgs = make([]api.DevPtr, len(ptes))
+		for i, pte := range ptes {
+			devCall.PtrArgs[i] = pte.Device + api.DevPtr(offs[i])
+		}
+		err := v.cuctx.Launch(devCall)
+		if errors.Is(err, api.ErrDeviceUnavailable) {
+			if rerr := rt.recover(ctx); rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+
+		rt.mm.MarkKernelEffects(ptes, call.ReadOnly)
+		ctx.gpuTimeNS.Add(int64(kernelTime))
+		ctx.recordReplay(call)
+
+		if rt.cfg.AutoCheckpoint > 0 && kernelTime >= rt.cfg.AutoCheckpoint {
+			if err := rt.checkpoint(ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// findKernel locates kernel metadata in the context's registered
+// binaries.
+func (ctx *Context) findKernel(name string) (api.KernelMeta, string, error) {
+	for id, fb := range ctx.binaries {
+		if meta, err := fb.FindKernel(name); err == nil {
+			return meta, id, nil
+		}
+	}
+	return api.KernelMeta{}, "", api.ErrNotRegistered
+}
+
+// hasNestedRegistration reports whether at least one pointer argument
+// has a registered nested structure.
+func (ctx *Context) hasNestedRegistration(args []api.DevPtr) bool {
+	for _, p := range args {
+		pte, _, err := ctx.rt.mm.Resolve(p)
+		if err == nil && pte.Nested != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// recordReplay appends the launch to the context's replay log (§4.6).
+func (ctx *Context) recordReplay(call api.LaunchCall) {
+	ctx.replay = append(ctx.replay, call)
+	for _, p := range call.PtrArgs {
+		if pte, _, err := ctx.rt.mm.Resolve(p); err == nil {
+			ctx.replayRefs[pte.Virtual] = true
+		}
+	}
+}
+
+// ensureBound binds the context if necessary and clears any pending
+// recovery first.
+func (rt *Runtime) ensureBound(ctx *Context) error {
+	rt.mu.Lock()
+	nr := ctx.needsRecovery
+	ctx.needsRecovery = false
+	bound := ctx.vgpu != nil
+	rt.mu.Unlock()
+	if nr {
+		return rt.recover(ctx)
+	}
+	if bound {
+		return nil
+	}
+	return rt.bind(ctx)
+}
+
+// checkFits rejects launches whose working set cannot fit any healthy
+// device even when fully alone.
+func (rt *Runtime) checkFits(ptes []*memmgr.PTE) error {
+	var need uint64
+	seen := make(map[api.DevPtr]bool)
+	for _, pte := range ptes {
+		if seen[pte.Virtual] {
+			continue
+		}
+		seen[pte.Virtual] = true
+		need += pte.Size
+	}
+	reservation := rt.crt.ContextReservation()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, ds := range rt.devs {
+		if !ds.healthy {
+			continue
+		}
+		reserve := uint64(len(ds.vgpus)) * reservation
+		if ds.dev.Capacity() >= need+reserve {
+			return nil
+		}
+	}
+	return api.ErrMemoryAllocation
+}
+
+// ensureResident makes every referenced entry device-resident on the
+// context's bound vGPU, swapping as needed. It returns
+// ErrMemoryAllocation when the device cannot be freed up (caller then
+// unbinds and retries), ErrDeviceUnavailable on device failure.
+//
+// Following §4.5, the runtime first uses its accounting (capacity,
+// availability and per-context usage) to make room for the launch's
+// whole missing working set before issuing any allocation; only then
+// does it allocate, falling back to the allocator's return code to
+// catch fragmentation.
+func (rt *Runtime) ensureResident(ctx *Context, v *vGPU, ptes []*memmgr.PTE) error {
+	var missing uint64
+	seen := make(map[api.DevPtr]bool, len(ptes))
+	for _, pte := range ptes {
+		if !seen[pte.Virtual] && !pte.IsAllocated {
+			missing += pte.Size
+		}
+		seen[pte.Virtual] = true
+	}
+	// Accounting-first: free enough device memory for the whole launch.
+	for attempt := 0; missing > v.ds.dev.Available(); attempt++ {
+		if attempt > 64 {
+			return api.ErrMemoryAllocation
+		}
+		needed := missing - v.ds.dev.Available()
+		if !rt.cfg.DisableIntraSwap && rt.intraSwap(ctx, v, ptes) {
+			continue
+		}
+		if !rt.cfg.DisableInterSwap && rt.interSwap(ctx, v, needed) {
+			continue
+		}
+		return api.ErrMemoryAllocation
+	}
+	for _, pte := range ptes {
+		for {
+			err := rt.mm.MakeResident(pte, v.cuctx)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, api.ErrMemoryAllocation) {
+				if errors.Is(err, api.ErrDeviceUnavailable) {
+					rt.onDeviceFailure(v.ds)
+				}
+				return err
+			}
+			// Fragmentation (or a concurrent allocation) bit after the
+			// accounting said we fit. First try intra-application
+			// swap: spill an entry of our own that this launch does
+			// not reference (§4.5).
+			if !rt.cfg.DisableIntraSwap && rt.intraSwap(ctx, v, ptes) {
+				continue
+			}
+			// Then inter-application swap: ask a co-located context in
+			// a CPU phase to vacate the device (§4.5).
+			if !rt.cfg.DisableInterSwap && rt.interSwap(ctx, v, pte.Size) {
+				continue
+			}
+			return api.ErrMemoryAllocation
+		}
+	}
+	return nil
+}
+
+// intraSwap spills one of the context's own resident entries that the
+// pending launch does not reference. Returns true if an entry was
+// swapped.
+func (rt *Runtime) intraSwap(ctx *Context, v *vGPU, exclude []*memmgr.PTE) bool {
+	excluded := make(map[api.DevPtr]bool, len(exclude))
+	for _, pte := range exclude {
+		excluded[pte.Virtual] = true
+		if pte.Nested != nil {
+			for _, m := range pte.Nested.Members {
+				if mp, _, err := rt.mm.Resolve(m); err == nil {
+					excluded[mp.Virtual] = true
+				}
+			}
+		}
+	}
+	for _, pte := range rt.mm.EntriesOf(ctx.id) {
+		if !pte.IsAllocated || excluded[pte.Virtual] {
+			continue
+		}
+		if err := rt.mm.SwapOut(pte, v.cuctx); err != nil {
+			return false
+		}
+		rt.intraSwaps.Add(1)
+		rt.logf("ctx %d intra-app swapped entry %#x (%d bytes)", ctx.id, uint64(pte.Virtual), pte.Size)
+		rt.event(trace.KindIntraSwap, ctx.id, 0, v.ds.index, "")
+		return true
+	}
+	return false
+}
+
+// interSwap asks a context sharing the device to vacate it. The victim
+// must be using at least the amount of memory required, must not be
+// pinned, and must be in a CPU phase — i.e. its service lock can be
+// taken without blocking; "an application in the middle of a kernel
+// call may not [accept]" (§4.5). On success the victim's whole page
+// table is swapped out and it is unbound from its vGPU.
+func (rt *Runtime) interSwap(ctx *Context, v *vGPU, needed uint64) bool {
+	rt.mu.Lock()
+	var candidates []*Context
+	var slots []*vGPU
+	for _, cand := range v.ds.vgpus {
+		c := cand.bound
+		if c == nil || c == ctx || c.pinned || c.exited {
+			continue
+		}
+		candidates = append(candidates, c)
+		slots = append(slots, cand)
+	}
+	rt.mu.Unlock()
+
+	now := rt.clock.Now()
+	minIdle := rt.cfg.minVictimIdle()
+	for i, victim := range candidates {
+		// Only a context genuinely in a CPU phase may honour the
+		// request; one between back-to-back GPU calls may not (§4.5).
+		if now-time.Duration(victim.lastActiveNS.Load()) < minIdle {
+			continue
+		}
+		if !victim.mu.TryLock() {
+			continue // mid-call: the request is not honoured
+		}
+		rt.mu.Lock()
+		still := victim.vgpu == slots[i] && !victim.exited
+		rt.mu.Unlock()
+		if !still {
+			victim.mu.Unlock()
+			continue
+		}
+		// The victim must be "using the amount of memory required"
+		// (§4.5); its page-table flags are only safe to read under its
+		// service lock, so the check happens here.
+		if rt.mm.ResidentBytes(victim.id) < needed {
+			victim.mu.Unlock()
+			continue
+		}
+		_, err := rt.mm.SwapOutAll(victim.id, slots[i].cuctx)
+		if err != nil {
+			victim.mu.Unlock()
+			if errors.Is(err, api.ErrDeviceUnavailable) {
+				rt.onDeviceFailure(v.ds)
+			}
+			return false
+		}
+		victim.clearReplay() // fully swapped out == checkpointed
+		rt.mu.Lock()
+		victim.vgpu = nil
+		rt.releaseVGPULocked(slots[i])
+		rt.mu.Unlock()
+		victim.mu.Unlock()
+		rt.interSwaps.Add(1)
+		rt.logf("ctx %d inter-app swapped out ctx %d", ctx.id, victim.id)
+		rt.event(trace.KindInterSwap, ctx.id, victim.id, v.ds.index, "")
+		return true
+	}
+	return false
+}
+
+// unbindSelf swaps out the context's own entries and releases its vGPU
+// so it can retry later, possibly on a different device.
+func (rt *Runtime) unbindSelf(ctx *Context, v *vGPU) {
+	if v == nil {
+		return
+	}
+	if _, err := rt.mm.SwapOutAll(ctx.id, v.cuctx); err != nil {
+		if errors.Is(err, api.ErrDeviceUnavailable) {
+			rt.onDeviceFailure(v.ds)
+			rt.mu.Lock()
+			ctx.needsRecovery = true
+			rt.mu.Unlock()
+			return
+		}
+		rt.mm.InvalidateResidency(ctx.id)
+	}
+	ctx.clearReplay()
+	rt.mu.Lock()
+	if ctx.vgpu == v {
+		ctx.vgpu = nil
+		rt.releaseVGPULocked(v)
+	}
+	rt.mu.Unlock()
+	rt.event(trace.KindUnbind, ctx.id, 0, v.ds.index, "memory retry")
+}
+
+// onDeviceFailure marks a device failed and detaches every context
+// bound to it; each context recovers lazily on its next device-touching
+// call (§4.6: failed contexts are enqueued for recovery).
+func (rt *Runtime) onDeviceFailure(ds *deviceState) {
+	rt.mu.Lock()
+	if !ds.healthy {
+		rt.mu.Unlock()
+		return
+	}
+	ds.healthy = false
+	for _, v := range ds.vgpus {
+		v.dead = true
+		if c := v.bound; c != nil {
+			c.needsRecovery = true
+			c.vgpu = nil
+			v.bound = nil
+		}
+	}
+	rt.mu.Unlock()
+	rt.deviceFailures.Add(1)
+	rt.logf("device %d (%s) failed", ds.index, ds.dev.Spec().Name)
+	rt.event(trace.KindFailure, 0, 0, ds.index, ds.dev.Spec().Name)
+}
+
+// recover restores a context after its device failed or was removed:
+// residency is invalidated (dirty device-only entries are marked lost),
+// the context re-binds to a healthy device, and the kernels logged
+// since the last checkpoint are replayed to regenerate the lost state
+// (§4.6; the page table + swap area are the implicit checkpoint, and —
+// unlike NVCR — only the memory operations required by not-yet-executed
+// kernels are replayed, lazily via the ToCopy2Dev flags).
+func (rt *Runtime) recover(ctx *Context) error {
+	rt.mu.Lock()
+	if v := ctx.vgpu; v != nil && (v.dead || !v.ds.healthy) {
+		ctx.vgpu = nil
+	}
+	ctx.needsRecovery = false
+	stillBound := ctx.vgpu != nil
+	rt.mu.Unlock()
+
+	if !stillBound {
+		rt.mm.InvalidateResidency(ctx.id)
+		if err := rt.bind(ctx); err != nil {
+			return err
+		}
+	}
+	rt.recoveries.Add(1)
+
+	// Replay the logged kernels in order.
+	replay := append([]api.LaunchCall(nil), ctx.replay...)
+	for _, call := range replay {
+		v := rt.boundVGPU(ctx)
+		if v == nil {
+			if err := rt.bind(ctx); err != nil {
+				return err
+			}
+			v = rt.boundVGPU(ctx)
+		}
+		ptes := make([]*memmgr.PTE, len(call.PtrArgs))
+		offs := make([]uint64, len(call.PtrArgs))
+		for i, p := range call.PtrArgs {
+			pte, off, err := rt.mm.Resolve(p)
+			if err != nil {
+				return err
+			}
+			ptes[i], offs[i] = pte, off
+		}
+		if err := rt.ensureResident(ctx, v, ptes); err != nil {
+			if errors.Is(err, api.ErrDeviceUnavailable) {
+				return rt.recover(ctx)
+			}
+			return err
+		}
+		devCall := call
+		devCall.PtrArgs = make([]api.DevPtr, len(ptes))
+		for i, pte := range ptes {
+			devCall.PtrArgs[i] = pte.Device + api.DevPtr(offs[i])
+		}
+		if err := v.cuctx.Launch(devCall); err != nil {
+			if errors.Is(err, api.ErrDeviceUnavailable) {
+				rt.onDeviceFailure(v.ds)
+				return rt.recover(ctx)
+			}
+			return err
+		}
+		rt.mm.MarkKernelEffects(ptes, call.ReadOnly)
+		rt.replays.Add(1)
+	}
+	rt.mm.ClearLost(ctx.id)
+	rt.logf("ctx %d recovered (%d kernels replayed)", ctx.id, len(replay))
+	rt.event(trace.KindRecovery, ctx.id, 0, -1, "")
+	return nil
+}
+
+// FailDevice injects a device failure (test/experiment hook): the
+// physical device starts erroring and the runtime notices immediately.
+func (rt *Runtime) FailDevice(index int) {
+	rt.mu.Lock()
+	var ds *deviceState
+	for _, d := range rt.devs {
+		if d.index == index {
+			ds = d
+			break
+		}
+	}
+	rt.mu.Unlock()
+	if ds == nil {
+		return
+	}
+	ds.dev.Fail()
+	rt.onDeviceFailure(ds)
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"gvrt/internal/api"
+	"gvrt/internal/trace"
+	"gvrt/internal/transport"
+)
+
+// This file implements inter-node offloading (§4.7): when the node is
+// overloaded — measured by the length of the queue of contexts waiting
+// for a virtual GPU — newly arriving application threads are redirected
+// to a peer node over the transport. Only the thread's GPU library
+// calls move; its CPU phases keep running wherever the application
+// lives.
+
+// shouldOffload reports whether a newly admitted connection should be
+// redirected: the load signal is the number of application threads the
+// node would then host beyond its virtual-GPU capacity — the projected
+// length of the pending/waiting queue once every admitted thread reaches
+// its first kernel launch. (The paper uses the size of the
+// pending-connections list; connections arrive before their first
+// launch, so the projected queue is the same signal evaluated at
+// admission time.)
+func (rt *Runtime) shouldOffload(admitted int) bool {
+	if rt.cfg.PeerDial == nil || rt.cfg.OffloadThreshold <= 0 {
+		return false
+	}
+	vgpus := 0
+	rt.mu.Lock()
+	for _, ds := range rt.devs {
+		if ds.healthy {
+			vgpus += len(ds.vgpus)
+		}
+	}
+	// Live contexts lag admissions by a beat (the dispatcher goroutine
+	// registers them); take whichever count is larger so simultaneous
+	// arrivals and long-lived threads are both seen.
+	if l := len(rt.ctxs) + 1; l > admitted {
+		admitted = l
+	}
+	rt.mu.Unlock()
+	return admitted-vgpus >= rt.cfg.OffloadThreshold
+}
+
+// HandleConn is the connection-manager entry point: it either serves
+// the connection locally or proxies it to a peer node. Call it on its
+// own goroutine per accepted connection.
+func (rt *Runtime) HandleConn(sc transport.ServerConn) {
+	admitted := int(rt.admitted.Add(1))
+	if rt.shouldOffload(admitted) {
+		peer, err := rt.cfg.PeerDial()
+		if err == nil {
+			rt.admitted.Add(-1)
+			rt.offloaded.Add(1)
+			rt.logf("offloading connection to peer")
+			rt.event(trace.KindOffload, 0, 0, -1, "")
+			rt.proxy(sc, peer)
+			return
+		}
+		rt.logf("offload dial failed (%v); serving locally", err)
+	}
+	defer rt.admitted.Add(-1)
+	rt.Serve(sc)
+}
+
+// proxy pumps calls from a local connection to a peer runtime and
+// relays the replies, until either side closes.
+func (rt *Runtime) proxy(sc transport.ServerConn, peer transport.Conn) {
+	defer func() {
+		_ = peer.Close()
+	}()
+	for {
+		call, err := sc.Recv()
+		if err != nil {
+			return
+		}
+		reply, err := peer.Call(call)
+		if err != nil {
+			// The peer died mid-stream; the application observes a
+			// connection-level failure, as it would with a crashed
+			// remote daemon.
+			_ = sc.Reply(api.Reply{Code: api.ErrConnectionClosed})
+			return
+		}
+		if err := sc.Reply(reply); err != nil {
+			return
+		}
+		if _, isExit := call.(api.ExitCall); isExit {
+			return
+		}
+	}
+}
+
+// ServeListener accepts connections until the listener closes, routing
+// each through HandleConn. It is the daemon main loop.
+func (rt *Runtime) ServeListener(l *transport.Listener) {
+	for {
+		sc, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go rt.HandleConn(sc)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"gvrt/internal/api"
+	"gvrt/internal/memmgr"
+)
+
+// This file implements node-restart persistence (§4.6: the paper
+// combines its runtime with BLCR "to enable these mechanisms also
+// after a full restart of a node"; gvrt serialises its own state).
+//
+// SaveState checkpoints and exports every live context's memory state;
+// RestoreState imports them into a fresh runtime as unclaimed sessions;
+// a reconnecting application thread re-attaches with ResumeCall using
+// the session ID it obtained earlier. Because the page table + swap
+// area are the checkpoint, the resumed thread's virtual pointers remain
+// valid and its next kernel launch lazily restores device residency.
+
+// stateFile is the serialised runtime state.
+type stateFile struct {
+	Images []*memmgr.ContextImage
+}
+
+// SaveState checkpoints every live context and writes the runtime's
+// persistent state to w. Call it on a quiescing node: connections may
+// be open, but each context is briefly locked while its dirty entries
+// flush to swap.
+func (rt *Runtime) SaveState(w io.Writer) error {
+	rt.mu.Lock()
+	ctxs := make([]*Context, 0, len(rt.ctxs))
+	for _, c := range rt.ctxs {
+		ctxs = append(ctxs, c)
+	}
+	orphans := make([]int64, 0, len(rt.orphans))
+	for id := range rt.orphans {
+		orphans = append(orphans, id)
+	}
+	rt.mu.Unlock()
+
+	var state stateFile
+	for _, ctx := range ctxs {
+		ctx.mu.Lock()
+		err := rt.checkpoint(ctx)
+		if err == nil {
+			var img *memmgr.ContextImage
+			img, err = rt.mm.ExportContext(ctx.id)
+			if err == nil {
+				state.Images = append(state.Images, img)
+			}
+		}
+		ctx.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("core: saving ctx %d: %w", ctx.id, err)
+		}
+	}
+	// Unclaimed sessions from a previous restore persist across saves.
+	for _, id := range orphans {
+		img, err := rt.mm.ExportContext(id)
+		if err != nil {
+			return fmt.Errorf("core: saving orphan %d: %w", id, err)
+		}
+		state.Images = append(state.Images, img)
+	}
+	return gob.NewEncoder(w).Encode(&state)
+}
+
+// RestoreState loads state written by SaveState into this (fresh)
+// runtime. Each restored context becomes an unclaimed session that a
+// reconnecting application thread re-attaches to via Client.Resume.
+func (rt *Runtime) RestoreState(r io.Reader) error {
+	var state stateFile
+	if err := gob.NewDecoder(r).Decode(&state); err != nil {
+		return fmt.Errorf("core: decoding state: %w", err)
+	}
+	for _, img := range state.Images {
+		if err := rt.mm.ImportContext(img); err != nil {
+			return fmt.Errorf("core: importing ctx %d: %w", img.CtxID, err)
+		}
+		rt.mu.Lock()
+		if rt.orphans == nil {
+			rt.orphans = make(map[int64]bool)
+		}
+		rt.orphans[img.CtxID] = true
+		if img.CtxID > rt.nextCtx {
+			rt.nextCtx = img.CtxID
+		}
+		rt.mu.Unlock()
+	}
+	return nil
+}
+
+// resume re-attaches a fresh context to a persisted session. The
+// caller holds ctx.mu.
+func (rt *Runtime) resume(ctx *Context, id int64) api.Error {
+	if rt.mm.UsageOf(ctx.id) != 0 {
+		// Resume must precede any allocation on this connection.
+		return api.ErrInvalidValue
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if !rt.orphans[id] {
+		return api.ErrInvalidValue
+	}
+	if ctx.vgpu != nil || ctx.inWaiting {
+		return api.ErrInvalidValue
+	}
+	delete(rt.orphans, id)
+	delete(rt.ctxs, ctx.id)
+	ctx.id = id
+	rt.ctxs[id] = ctx
+	rt.logf("ctx resumed session %d", id)
+	return api.Success
+}
+
+// OrphanSessions lists persisted sessions not yet re-claimed.
+func (rt *Runtime) OrphanSessions() []int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ids := make([]int64, 0, len(rt.orphans))
+	for id := range rt.orphans {
+		ids = append(ids, id)
+	}
+	return ids
+}

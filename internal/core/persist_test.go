@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"gvrt/internal/api"
+)
+
+// TestNodeRestartResume is the §4.6 full-restart scenario end to end:
+// an application computes on node A, the node saves its state and goes
+// down, a fresh node restores the state, and the application — using
+// the same virtual pointers — resumes and finishes with bit-exact data.
+func TestNodeRestartResume(t *testing.T) {
+	env1 := newEnv(t, Config{}, smallSpec(1<<20, 1))
+	c1 := env1.client()
+	if err := c1.RegisterFatBinary(testBinary()); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c1.Malloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.MemcpyHD(p, []byte{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c1.Launch(api.LaunchCall{Kernel: "inc", PtrArgs: []api.DevPtr{p}, Scalars: []uint64{3}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	session, err := c1.SessionID()
+	if err != nil || session == 0 {
+		t.Fatalf("SessionID = %d, %v", session, err)
+	}
+
+	var state bytes.Buffer
+	if err := env1.rt.SaveState(&state); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	env1.rt.Close()
+
+	// A fresh node restores the state.
+	env2 := newEnv(t, Config{}, smallSpec(1<<20, 1))
+	if err := env2.rt.RestoreState(bytes.NewReader(state.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := env2.rt.OrphanSessions(); len(got) != 1 || got[0] != session {
+		t.Fatalf("OrphanSessions = %v, want [%d]", got, session)
+	}
+
+	// The application reconnects, resumes, and continues with the SAME
+	// virtual pointer.
+	c2 := env2.client()
+	defer c2.Close()
+	if err := c2.Resume(session); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.RegisterFatBinary(testBinary()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Launch(api.LaunchCall{Kernel: "inc", PtrArgs: []api.DevPtr{p}, Scalars: []uint64{3}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c2.MemcpyDH(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 total increments across the restart.
+	want := []byte{14, 24, 34}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("data after restart = %v, want %v", out, want)
+		}
+	}
+	if len(env2.rt.OrphanSessions()) != 0 {
+		t.Error("session still orphaned after resume")
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	env := newEnv(t, Config{}, smallSpec(1<<20, 1))
+	c := env.client()
+	defer c.Close()
+	// Unknown session.
+	if err := c.Resume(999); !errors.Is(err, api.ErrInvalidValue) {
+		t.Errorf("Resume(unknown) err = %v", err)
+	}
+	// Resume after allocating is rejected.
+	if _, err := c.Malloc(16); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Resume(1); !errors.Is(err, api.ErrInvalidValue) {
+		t.Errorf("Resume after Malloc err = %v", err)
+	}
+}
+
+func TestRestoreRejectsDuplicateAndGarbage(t *testing.T) {
+	env1 := newEnv(t, Config{}, smallSpec(1<<20, 1))
+	c := env1.client()
+	if _, err := c.Malloc(16); err != nil {
+		t.Fatal(err)
+	}
+	var state bytes.Buffer
+	if err := env1.rt.SaveState(&state); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	env2 := newEnv(t, Config{}, smallSpec(1<<20, 1))
+	if err := env2.rt.RestoreState(bytes.NewReader(state.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Importing the same state twice collides on context IDs.
+	if err := env2.rt.RestoreState(bytes.NewReader(state.Bytes())); err == nil {
+		t.Error("duplicate restore accepted")
+	}
+	// Garbage input fails cleanly.
+	if err := env2.rt.RestoreState(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage restore accepted")
+	}
+}

@@ -1,0 +1,477 @@
+// Package core implements the gvrt node-level runtime of the paper's §4:
+// connection manager, multithreaded dispatcher, virtual GPUs, and the
+// orchestration of the memory manager that yields GPU sharing, dynamic
+// application→GPU binding, inter-/intra-application swapping, load
+// balancing through migration, fault tolerance and checkpoint-restart.
+//
+// One Runtime instance runs per node. Applications reach it through
+// transport connections (one per application thread); every CUDA call
+// arriving on a connection is served synchronously, exactly like the
+// paper's interposed frontend → daemon RPC.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gvrt/internal/api"
+
+	"gvrt/internal/cudart"
+	"gvrt/internal/gpu"
+	"gvrt/internal/memmgr"
+	"gvrt/internal/sched"
+	"gvrt/internal/sim"
+	"gvrt/internal/trace"
+	"gvrt/internal/transport"
+)
+
+// Default configuration values.
+const (
+	// DefaultVGPUsPerDevice is the sharing degree the paper settles on
+	// (§5.3.2: "four vGPUs per device provide a good compromise").
+	DefaultVGPUsPerDevice = 4
+	// DefaultCallOverhead models the per-call cost of interception,
+	// queuing and scheduling; calibrated so framework overhead lands
+	// around the paper's ≤10% worst case on short-running jobs.
+	DefaultCallOverhead = 100 * time.Microsecond
+	// DefaultBindBackoff is the pause before a context that could not
+	// obtain memory retries binding (§4.5: "the calling application
+	// will unbind from the virtual-GPU and retry later").
+	DefaultBindBackoff = 50 * time.Millisecond
+	// DefaultMinVictimIdle is the idle time after which a context is
+	// considered to be in a CPU phase for swap/migration eligibility.
+	DefaultMinVictimIdle = 100 * time.Millisecond
+)
+
+// Config tunes a Runtime. The zero value gives the paper's evaluation
+// configuration: 4 vGPUs per device, FCFS scheduling, transfer deferral
+// on, both swap flavours enabled, no migration, no offloading.
+type Config struct {
+	// VGPUsPerDevice is the number of virtual GPUs (concurrent
+	// applications) per physical device; 0 means DefaultVGPUsPerDevice.
+	VGPUsPerDevice int
+	// Policy is the dispatcher's scheduling policy; nil means FCFS.
+	Policy sched.Policy
+	// WriteThrough disables transfer deferral (§4.5): host writes to
+	// resident entries go straight to the device.
+	WriteThrough bool
+	// CallOverhead is the modeled per-call framework overhead; 0 means
+	// DefaultCallOverhead, negative means none.
+	CallOverhead time.Duration
+	// DisableIntraSwap turns off intra-application swapping (ablation).
+	DisableIntraSwap bool
+	// DisableInterSwap turns off inter-application swapping (ablation).
+	DisableInterSwap bool
+	// EnableMigration turns on load balancing through dynamic binding
+	// (§5.3.4): when a faster GPU's vGPU frees with nobody waiting, a
+	// job bound to a slower GPU is migrated to it.
+	EnableMigration bool
+	// AutoCheckpoint, when positive, checkpoints a context after any
+	// kernel call whose modeled duration is at least this long (§4.6:
+	// automatic checkpoints after long-running kernels).
+	AutoCheckpoint time.Duration
+	// HostMemory caps the swap area (0 = unlimited). The paper's node
+	// has 48 GB.
+	HostMemory uint64
+	// BindBackoff is the retry pause after a failed memory acquisition;
+	// 0 means DefaultBindBackoff.
+	BindBackoff time.Duration
+	// MinVictimIdle is how long a context must have been idle before it
+	// counts as "running a CPU phase" and may honour an
+	// inter-application swap request or be migrated (§4.5: an
+	// application between two back-to-back kernel calls is not in a CPU
+	// phase and "may not" accept). 0 means DefaultMinVictimIdle;
+	// negative means no minimum.
+	MinVictimIdle time.Duration
+	// MaxBindAttempts bounds the unbind-and-retry loop; 0 means
+	// unlimited (the paper's behaviour).
+	MaxBindAttempts int
+	// PeerDial, when set together with OffloadThreshold, lets the node
+	// offload incoming application threads to a peer node (§4.7).
+	PeerDial func() (transport.Conn, error)
+	// OffloadThreshold is the pending/waiting queue length above which
+	// new connections are offloaded; 0 disables offloading.
+	OffloadThreshold int
+	// Logf, when set, receives debug events.
+	Logf func(format string, args ...any)
+	// Trace, when set, records structured scheduling events (bindings,
+	// swaps, migrations, failures, recoveries, offloads) into a bounded
+	// ring for tests and operators.
+	Trace *trace.Recorder
+}
+
+func (c *Config) vgpus() int {
+	if c.VGPUsPerDevice <= 0 {
+		return DefaultVGPUsPerDevice
+	}
+	return c.VGPUsPerDevice
+}
+
+func (c *Config) overhead() time.Duration {
+	switch {
+	case c.CallOverhead == 0:
+		return DefaultCallOverhead
+	case c.CallOverhead < 0:
+		return 0
+	default:
+		return c.CallOverhead
+	}
+}
+
+func (c *Config) backoff() time.Duration {
+	if c.BindBackoff <= 0 {
+		return DefaultBindBackoff
+	}
+	return c.BindBackoff
+}
+
+func (c *Config) minVictimIdle() time.Duration {
+	switch {
+	case c.MinVictimIdle == 0:
+		return DefaultMinVictimIdle
+	case c.MinVictimIdle < 0:
+		return 0
+	default:
+		return c.MinVictimIdle
+	}
+}
+
+// vGPU is a virtual GPU: one sharing slot of a physical device, owning
+// a persistent CUDA context created at startup (§4.4). Binding state is
+// guarded by the runtime mutex.
+type vGPU struct {
+	name  string
+	ds    *deviceState
+	cuctx *cudart.Context
+	bound *Context
+	dead  bool
+}
+
+// deviceState tracks one physical device and its vGPUs.
+type deviceState struct {
+	index   int
+	dev     *gpu.Device
+	vgpus   []*vGPU
+	healthy bool
+}
+
+func (ds *deviceState) freeVGPU() *vGPU {
+	for _, v := range ds.vgpus {
+		if v.bound == nil && !v.dead {
+			return v
+		}
+	}
+	return nil
+}
+
+func (ds *deviceState) activeVGPUs() int {
+	n := 0
+	for _, v := range ds.vgpus {
+		if v.bound != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// DeviceUtilization is the per-device slice of a metrics snapshot.
+type DeviceUtilization struct {
+	Index   int
+	Name    string
+	Healthy bool
+	// Busy is the cumulative model time the device's execution engine
+	// was occupied by kernels.
+	Busy     time.Duration
+	Launches int64
+	H2DBytes int64
+	D2HBytes int64
+	// ActiveVGPUs / VGPUs are the bound and total sharing slots.
+	ActiveVGPUs  int
+	VGPUs        int
+	MemAvailable uint64
+	Capacity     uint64
+}
+
+// Metrics is a snapshot of the runtime's counters plus the memory
+// manager's statistics and per-device utilization.
+type Metrics struct {
+	CallsServed    int64
+	Binds          int64
+	InterAppSwaps  int64
+	IntraAppSwaps  int64
+	Migrations     int64
+	Recoveries     int64
+	Replays        int64
+	DeviceFailures int64
+	Offloaded      int64
+	UnbindRetries  int64
+	Memory         memmgr.Stats
+	Devices        []DeviceUtilization
+}
+
+// Runtime is the gvrt node-level runtime daemon.
+type Runtime struct {
+	cfg    Config
+	clock  *sim.Clock
+	crt    *cudart.Runtime
+	mm     *memmgr.Manager
+	policy sched.Policy
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	devs    []*deviceState
+	waiting []*Context
+	ctxs    map[int64]*Context
+	orphans map[int64]bool
+	nextCtx int64
+	closed  bool
+
+	calls          atomic.Int64
+	binds          atomic.Int64
+	interSwaps     atomic.Int64
+	intraSwaps     atomic.Int64
+	migrations     atomic.Int64
+	recoveries     atomic.Int64
+	replays        atomic.Int64
+	deviceFailures atomic.Int64
+	offloaded      atomic.Int64
+	unbindRetries  atomic.Int64
+	admitted       atomic.Int64
+}
+
+// New builds a runtime over a CUDA runtime instance, creating the
+// configured number of virtual GPUs per device up front (each one a
+// persistent CUDA context, statically bound to its physical GPU via
+// cudaSetDevice at startup, §4.4). It fails if any context cannot be
+// created — a sign the sharing degree exceeds what the CUDA runtime
+// supports.
+func New(crt *cudart.Runtime, cfg Config) (*Runtime, error) {
+	rt := &Runtime{
+		cfg:    cfg,
+		clock:  crt.Clock(),
+		crt:    crt,
+		mm:     memmgr.New(!cfg.WriteThrough, cfg.HostMemory),
+		policy: cfg.Policy,
+		ctxs:   make(map[int64]*Context),
+	}
+	if rt.policy == nil {
+		rt.policy = sched.FCFS{}
+	}
+	rt.cond = sync.NewCond(&rt.mu)
+	for i := 0; i < crt.DeviceCount(); i++ {
+		if err := rt.addDeviceState(i); err != nil {
+			rt.Close()
+			return nil, err
+		}
+	}
+	if cfg.EnableMigration {
+		go rt.migrationMonitor()
+	}
+	return rt, nil
+}
+
+// migrationMonitor periodically looks for an idle vGPU on a fast device
+// with nobody waiting and migrates a job from a slower device onto it
+// (§5.3.4: "the dispatcher keeps track of fast GPUs becoming idle").
+// Release events also trigger migration directly; the monitor catches
+// victims that only became eligible (entered a CPU phase) later.
+func (rt *Runtime) migrationMonitor() {
+	const interval = 200 * time.Millisecond
+	for {
+		rt.clock.Sleep(interval)
+		rt.mu.Lock()
+		if rt.closed {
+			rt.mu.Unlock()
+			return
+		}
+		if len(rt.waiting) == 0 {
+			var best *vGPU
+			for _, ds := range rt.devs {
+				if !ds.healthy {
+					continue
+				}
+				if v := ds.freeVGPU(); v != nil {
+					if best == nil || v.ds.dev.Spec().Speed > best.ds.dev.Spec().Speed {
+						best = v
+					}
+				}
+			}
+			if best != nil {
+				rt.tryMigrateLocked(best, 0)
+			}
+		}
+		rt.mu.Unlock()
+	}
+}
+
+// addDeviceState creates the vGPUs for device index i.
+func (rt *Runtime) addDeviceState(i int) error {
+	ds := &deviceState{index: i, dev: rt.crt.Device(i), healthy: true}
+	for k := 0; k < rt.cfg.vgpus(); k++ {
+		cuctx, err := rt.crt.CreateContext(i)
+		if err != nil {
+			return fmt.Errorf("core: creating vGPU %d.%d: %w", i, k, err)
+		}
+		ds.vgpus = append(ds.vgpus, &vGPU{
+			name:  fmt.Sprintf("vGPU%d.%d", i, k),
+			ds:    ds,
+			cuctx: cuctx,
+		})
+	}
+	rt.mu.Lock()
+	rt.devs = append(rt.devs, ds)
+	rt.mu.Unlock()
+	return nil
+}
+
+// Clock returns the runtime's model clock.
+func (rt *Runtime) Clock() *sim.Clock { return rt.clock }
+
+// MemoryManager exposes the memory manager (read-mostly; used by tests
+// and the experiment harness).
+func (rt *Runtime) MemoryManager() *memmgr.Manager { return rt.mm }
+
+// Metrics returns a snapshot of all counters.
+func (rt *Runtime) Metrics() Metrics {
+	rt.mu.Lock()
+	devs := make([]DeviceUtilization, 0, len(rt.devs))
+	for _, ds := range rt.devs {
+		st := ds.dev.Stats()
+		devs = append(devs, DeviceUtilization{
+			Index:        ds.index,
+			Name:         ds.dev.Spec().Name,
+			Healthy:      ds.healthy,
+			Busy:         st.Busy,
+			Launches:     st.Launches,
+			H2DBytes:     st.H2DBytes,
+			D2HBytes:     st.D2HBytes,
+			ActiveVGPUs:  ds.activeVGPUs(),
+			VGPUs:        len(ds.vgpus),
+			MemAvailable: ds.dev.Available(),
+			Capacity:     ds.dev.Capacity(),
+		})
+	}
+	rt.mu.Unlock()
+	return Metrics{
+		Devices:        devs,
+		CallsServed:    rt.calls.Load(),
+		Binds:          rt.binds.Load(),
+		InterAppSwaps:  rt.interSwaps.Load(),
+		IntraAppSwaps:  rt.intraSwaps.Load(),
+		Migrations:     rt.migrations.Load(),
+		Recoveries:     rt.recoveries.Load(),
+		Replays:        rt.replays.Load(),
+		DeviceFailures: rt.deviceFailures.Load(),
+		Offloaded:      rt.offloaded.Load(),
+		UnbindRetries:  rt.unbindRetries.Load(),
+		Memory:         rt.mm.Stats(),
+	}
+}
+
+// wireStats builds the operator-facing metrics snapshot served for a
+// StatsCall.
+func (rt *Runtime) wireStats() api.RuntimeStats {
+	m := rt.Metrics()
+	rt.mu.Lock()
+	depth := len(rt.waiting)
+	live := len(rt.ctxs)
+	rt.mu.Unlock()
+	out := api.RuntimeStats{
+		CallsServed:    m.CallsServed,
+		Binds:          m.Binds,
+		InterAppSwaps:  m.InterAppSwaps,
+		IntraAppSwaps:  m.IntraAppSwaps,
+		SwapOps:        m.Memory.SwapOps,
+		SwapBytes:      m.Memory.SwapBytes,
+		Migrations:     m.Migrations,
+		Recoveries:     m.Recoveries,
+		Replays:        m.Replays,
+		DeviceFailures: m.DeviceFailures,
+		Offloaded:      m.Offloaded,
+		UnbindRetries:  m.UnbindRetries,
+		QueueDepth:     depth,
+		LiveContexts:   live,
+	}
+	for _, d := range m.Devices {
+		out.Devices = append(out.Devices, api.DeviceStats{
+			Index:        d.Index,
+			Name:         d.Name,
+			Healthy:      d.Healthy,
+			BusyNS:       int64(d.Busy),
+			Launches:     d.Launches,
+			H2DBytes:     d.H2DBytes,
+			D2HBytes:     d.D2HBytes,
+			ActiveVGPUs:  d.ActiveVGPUs,
+			VGPUs:        d.VGPUs,
+			MemAvailable: d.MemAvailable,
+			Capacity:     d.Capacity,
+		})
+	}
+	return out
+}
+
+// VGPUCount reports the number of live (healthy-device) virtual GPUs —
+// the value the runtime returns for cudaGetDeviceCount (§4.3).
+func (rt *Runtime) VGPUCount() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n := 0
+	for _, ds := range rt.devs {
+		if !ds.healthy {
+			continue
+		}
+		n += len(ds.vgpus)
+	}
+	return n
+}
+
+// QueueDepth reports how many contexts are waiting for a virtual GPU —
+// the load signal used for inter-node offloading (§4.7).
+func (rt *Runtime) QueueDepth() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.waiting)
+}
+
+// logf emits a debug event when configured.
+func (rt *Runtime) logf(format string, args ...any) {
+	if rt.cfg.Logf != nil {
+		rt.cfg.Logf(format, args...)
+	}
+}
+
+// event records a structured trace event (no-op without a recorder)
+// and mirrors it to the debug log.
+func (rt *Runtime) event(kind trace.Kind, ctx, other int64, device int, detail string) {
+	if rt.cfg.Trace != nil {
+		rt.cfg.Trace.Record(trace.Event{
+			Time:   rt.clock.Now(),
+			Kind:   kind,
+			Ctx:    ctx,
+			Other:  other,
+			Device: device,
+			Detail: detail,
+		})
+	}
+}
+
+// Close shuts the runtime down: waiting contexts are released with an
+// error and the vGPU contexts are destroyed.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.closed = true
+	devs := rt.devs
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+	for _, ds := range devs {
+		for _, v := range ds.vgpus {
+			v.cuctx.Destroy()
+		}
+	}
+}

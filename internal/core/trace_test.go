@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gvrt/internal/api"
+	"gvrt/internal/trace"
+)
+
+// TestRuntimeEmitsTraceEvents drives a representative flow and asserts
+// the structured event stream reflects it: connect → bind →
+// inter-swap → failure → recovery → exit.
+func TestRuntimeEmitsTraceEvents(t *testing.T) {
+	rec := trace.NewRecorder(256)
+	env := newEnv(t, Config{VGPUsPerDevice: 2, Trace: rec},
+		smallSpec(1<<20, 1), smallSpec(1<<20, 1))
+
+	a, b := env.client(), env.client()
+	for _, c := range []*struct {
+		cl interface {
+			RegisterFatBinary(api.FatBinary) error
+		}
+	}{{a}, {b}} {
+		if err := c.cl.RegisterFatBinary(testBinary()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pa, _ := a.Malloc(600 << 10)
+	pb, _ := b.Malloc(600 << 10)
+
+	// a binds to a device and fills it.
+	if err := a.Launch(api.LaunchCall{Kernel: "inc", PtrArgs: []api.DevPtr{pa}, Scalars: []uint64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond) // a becomes idle (model hours at this scale)
+
+	// b may land next to a (same device) and force an inter-app swap,
+	// or on the second device; drive both onto device pressure by
+	// failing b's device after it binds.
+	if err := b.Launch(api.LaunchCall{Kernel: "inc", PtrArgs: []api.DevPtr{pb}, Scalars: []uint64{0}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail device 0 and force a's recovery on its next call.
+	env.rt.FailDevice(0)
+	if err := a.Launch(api.LaunchCall{Kernel: "inc", PtrArgs: []api.DevPtr{pa}, Scalars: []uint64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Launch(api.LaunchCall{Kernel: "inc", PtrArgs: []api.DevPtr{pb}, Scalars: []uint64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b.Close()
+	env.wg.Wait()
+
+	counts := rec.CountByKind()
+	if counts[trace.KindConnect] != 2 {
+		t.Errorf("connect events = %d, want 2", counts[trace.KindConnect])
+	}
+	if counts[trace.KindBind] < 2 {
+		t.Errorf("bind events = %d, want >= 2", counts[trace.KindBind])
+	}
+	if counts[trace.KindFailure] != 1 {
+		t.Errorf("failure events = %d, want 1", counts[trace.KindFailure])
+	}
+	if counts[trace.KindRecovery] < 1 {
+		t.Errorf("recovery events = %d, want >= 1", counts[trace.KindRecovery])
+	}
+	if counts[trace.KindExit] != 2 {
+		t.Errorf("exit events = %d, want 2", counts[trace.KindExit])
+	}
+
+	// The first event must be a connect, the last an exit, and model
+	// times must be monotonically non-decreasing.
+	evs := rec.Snapshot()
+	if evs[0].Kind != trace.KindConnect {
+		t.Errorf("first event = %v", evs[0])
+	}
+	if evs[len(evs)-1].Kind != trace.KindExit {
+		t.Errorf("last event = %v", evs[len(evs)-1])
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Errorf("event %d time %v before event %d time %v", i, evs[i].Time, i-1, evs[i-1].Time)
+			break
+		}
+	}
+	if rec.Dump() == "" {
+		t.Error("Dump is empty")
+	}
+}

@@ -1,0 +1,271 @@
+package cudart
+
+import (
+	"fmt"
+	"sync"
+
+	"gvrt/internal/api"
+	"gvrt/internal/gpu"
+)
+
+// Context is a CUDA context: the unit of isolation the bare runtime
+// offers. It owns a set of device allocations on one device and the fat
+// binaries registered by its application thread. Methods return
+// api.Error codes like the real library returns cudaError_t.
+//
+// A Context is safe for concurrent use, though CUDA applications
+// normally issue calls from a single thread per context.
+type Context struct {
+	rt       *Runtime
+	devIndex int
+	dev      *gpu.Device
+	reserved api.DevPtr
+
+	mu        sync.Mutex
+	allocs    map[api.DevPtr]uint64
+	binaries  map[string]api.FatBinary
+	destroyed bool
+}
+
+// Device returns the device the context lives on.
+func (c *Context) Device() *gpu.Device { return c.dev }
+
+// DeviceIndex returns the ordinal of the context's device.
+func (c *Context) DeviceIndex() int { return c.devIndex }
+
+func (c *Context) live() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.destroyed {
+		return api.ErrInvalidValue
+	}
+	return nil
+}
+
+// RegisterFatBinary mirrors __cudaRegisterFatBinary plus the per-kernel
+// registration calls: it makes the binary's kernels launchable in this
+// context.
+func (c *Context) RegisterFatBinary(fb api.FatBinary) error {
+	if err := c.live(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.binaries[fb.ID] = fb
+	return nil
+}
+
+// Malloc mirrors cudaMalloc.
+func (c *Context) Malloc(size uint64) (api.DevPtr, error) {
+	if err := c.live(); err != nil {
+		return 0, err
+	}
+	p, err := c.dev.Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.allocs[p] = size
+	c.mu.Unlock()
+	return p, nil
+}
+
+// Free mirrors cudaFree. Only pointers allocated by this context are
+// valid: contexts are isolated address spaces.
+func (c *Context) Free(p api.DevPtr) error {
+	if err := c.live(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	_, mine := c.allocs[p]
+	if mine {
+		delete(c.allocs, p)
+	}
+	c.mu.Unlock()
+	if !mine {
+		return api.ErrInvalidDevicePointer
+	}
+	return c.dev.Free(p)
+}
+
+// owns reports whether ptr falls inside one of this context's
+// allocations (pointers may point mid-allocation).
+func (c *Context) owns(ptr api.DevPtr) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for base, size := range c.allocs {
+		if ptr >= base && ptr < base+api.DevPtr(size) {
+			return true
+		}
+	}
+	return false
+}
+
+// MemcpyHD mirrors cudaMemcpy(HostToDevice). data carries real bytes or,
+// when nil, size describes a synthetic (timing-only) transfer.
+func (c *Context) MemcpyHD(dst api.DevPtr, data []byte, size uint64) error {
+	if err := c.live(); err != nil {
+		return err
+	}
+	if !c.owns(dst) {
+		return api.ErrInvalidDevicePointer
+	}
+	return c.dev.CopyIn(dst, data, size)
+}
+
+// MemcpyDH mirrors cudaMemcpy(DeviceToHost).
+func (c *Context) MemcpyDH(src api.DevPtr, size uint64) ([]byte, error) {
+	if err := c.live(); err != nil {
+		return nil, err
+	}
+	if !c.owns(src) {
+		return nil, api.ErrInvalidDevicePointer
+	}
+	return c.dev.CopyOut(src, size)
+}
+
+// Memset mirrors cudaMemset within the context: the fill is applied to
+// real backing only when the allocation already carries data.
+func (c *Context) Memset(dst api.DevPtr, value byte, size uint64) error {
+	if err := c.live(); err != nil {
+		return err
+	}
+	if !c.owns(dst) {
+		return api.ErrInvalidDevicePointer
+	}
+	data := []byte(nil)
+	if value != 0 {
+		data = make([]byte, size)
+		for i := range data {
+			data[i] = value
+		}
+	}
+	return c.dev.CopyIn(dst, data, size)
+}
+
+// MemcpyDD mirrors cudaMemcpy(DeviceToDevice) within the context.
+func (c *Context) MemcpyDD(dst, src api.DevPtr, size uint64) error {
+	if err := c.live(); err != nil {
+		return err
+	}
+	if !c.owns(dst) || !c.owns(src) {
+		return api.ErrInvalidDevicePointer
+	}
+	return c.dev.CopyDD(dst, src, size)
+}
+
+// findKernel locates kernel metadata by name across the context's
+// registered binaries, returning the binary ID it came from.
+func (c *Context) findKernel(name string) (api.KernelMeta, string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, fb := range c.binaries {
+		for _, k := range fb.Kernels {
+			if k.Name == name {
+				return k, id, nil
+			}
+		}
+	}
+	return api.KernelMeta{}, "", api.ErrNotRegistered
+}
+
+// argMem adapts a launch's pointer arguments to api.KernelMemory.
+type argMem struct {
+	dev  *gpu.Device
+	ptrs []api.DevPtr
+}
+
+func (m argMem) Arg(i int) ([]byte, error) {
+	if i < 0 || i >= len(m.ptrs) {
+		return nil, api.ErrInvalidValue
+	}
+	return m.dev.Bytes(m.ptrs[i])
+}
+
+// Launch mirrors cudaConfigureCall+cudaLaunch: it validates the pointer
+// arguments, occupies the device for the kernel's modeled duration
+// (scaled by device speed, Repeat times) and applies the registered
+// host-side implementation, if any, to the device buffers.
+func (c *Context) Launch(call api.LaunchCall) error {
+	if err := c.live(); err != nil {
+		return err
+	}
+	meta, binID, err := c.findKernel(call.Kernel)
+	if err != nil {
+		return err
+	}
+	for _, p := range call.PtrArgs {
+		if !c.owns(p) {
+			return api.ErrInvalidDevicePointer
+		}
+	}
+	var fn func() error
+	if impl, ok := api.KernelImpl(binID, call.Kernel); ok {
+		mem := argMem{dev: c.dev, ptrs: call.PtrArgs}
+		fn = func() (err error) {
+			// A buggy kernel implementation must surface as a launch
+			// failure, like a faulting kernel on real hardware — never
+			// take the runtime down.
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("kernel %s panicked: %v: %w", call.Kernel, r, api.ErrLaunchFailure)
+				}
+			}()
+			return impl(mem, call.Scalars)
+		}
+	}
+	return c.dev.Exec(meta.BaseTime, call.Launches(), fn)
+}
+
+// Synchronize mirrors cudaDeviceSynchronize. Device operations in this
+// simulation are synchronous, so this only verifies device health.
+func (c *Context) Synchronize() error {
+	if err := c.live(); err != nil {
+		return err
+	}
+	if c.dev.Failed() || c.dev.Removed() {
+		return api.ErrDeviceUnavailable
+	}
+	return nil
+}
+
+// MemoryInUse reports the bytes this context has allocated (excluding
+// the runtime's own reservation).
+func (c *Context) MemoryInUse() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum uint64
+	for _, n := range c.allocs {
+		sum += n
+	}
+	return sum
+}
+
+// Destroy mirrors cudaDeviceReset for the owning thread: it releases all
+// of the context's allocations and its reservation and frees the context
+// slot. Destroy is idempotent.
+func (c *Context) Destroy() {
+	c.mu.Lock()
+	if c.destroyed {
+		c.mu.Unlock()
+		return
+	}
+	c.destroyed = true
+	ptrs := make([]api.DevPtr, 0, len(c.allocs)+1)
+	for p := range c.allocs {
+		ptrs = append(ptrs, p)
+	}
+	c.allocs = make(map[api.DevPtr]uint64)
+	c.mu.Unlock()
+
+	// Best-effort cleanup: on a failed device the memory is gone anyway.
+	for _, p := range ptrs {
+		_ = c.dev.Free(p)
+	}
+	_ = c.dev.Free(c.reserved)
+
+	c.rt.mu.Lock()
+	c.rt.ctxPerDev[c.devIndex]--
+	c.rt.destroyedC++
+	c.rt.mu.Unlock()
+}

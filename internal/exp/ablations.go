@@ -1,0 +1,281 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"gvrt/internal/api"
+
+	"gvrt/internal/cluster"
+	"gvrt/internal/core"
+	"gvrt/internal/gpu"
+	"gvrt/internal/sched"
+	"gvrt/internal/sim"
+	"gvrt/internal/workload"
+)
+
+// The ablations isolate the design choices §4 calls out: transfer
+// deferral, inter-application swapping, the pluggable scheduler, the
+// automatic checkpoint, and the offload threshold.
+
+// chunkedUploadApp builds a synthetic application that uploads its
+// input buffer in 16 chunks before every kernel — the "multiple data
+// copy operations within the same allocated area" pattern whose bulk
+// coalescing §4.5 calls out as a benefit of deferral.
+func chunkedUploadApp() workload.App {
+	const (
+		buf    = 64 << 20
+		chunk  = buf / 16
+		iters  = 20
+		kernel = 200 * time.Millisecond
+	)
+	bin := api.FatBinary{ID: "abl/chunked", Kernels: []api.KernelMeta{
+		{Name: "consume", BaseTime: kernel},
+	}}
+	app := workload.App{Name: "chunked", Binary: bin, MemBytes: buf, KernelCalls: iters}
+	app.Ops = append(app.Ops, workload.MallocOp{Buf: 0, Size: buf})
+	for i := 0; i < iters; i++ {
+		for c := 0; c < 16; c++ {
+			app.Ops = append(app.Ops, workload.CopyHDOp{Buf: 0, Size: chunk})
+		}
+		app.Ops = append(app.Ops, workload.KernelOp{Name: "consume", Bufs: []int{0}})
+	}
+	app.Ops = append(app.Ops, workload.FreeOp{Buf: 0})
+	return app
+}
+
+// AblationDeferral compares transfer deferral (the evaluation's
+// configuration) against write-through (§4.5: "deferring has the
+// opposite effect") on a chunked-upload workload where coalescing
+// matters.
+func AblationDeferral(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "abl-defer",
+		Title:  "Transfer deferral vs write-through: 4 chunked-upload jobs, 1 GPU, 4 vGPUs",
+		Paper:  "§4.5: multiple copies into one area become a single bulk transfer under deferral",
+		Header: []string{"configuration", "total (s)", "H2D transfers", "coalesced writes"},
+	}
+	for _, wt := range []bool{false, true} {
+		env, err := newNodeEnv(o, core.Config{VGPUsPerDevice: 4, WriteThrough: wt}, gpu.TeslaC2050)
+		if err != nil {
+			return nil, err
+		}
+		apps := make([]workload.App, 4)
+		for i := range apps {
+			apps[i] = chunkedUploadApp()
+		}
+		res := workload.RunBatch(env.clock, apps, env.connect)
+		m := env.rt.Metrics()
+		st := env.crt.Device(0).Stats()
+		env.rt.Close()
+		if res.Failed() > 0 {
+			return nil, fmt.Errorf("abl-defer wt=%v: %v", wt, firstErr(res))
+		}
+		name := "deferral (default)"
+		if wt {
+			name = "write-through"
+		}
+		t.Rows = append(t.Rows, []string{name, secs(res.Total),
+			fmt.Sprintf("%d", st.H2DOps), fmt.Sprintf("%d", m.Memory.CoalescedWrites)})
+		o.logf("abl-defer: wt=%v done", wt)
+	}
+	return t, nil
+}
+
+// AblationInterSwap disables inter-application swap: contexts that
+// cannot obtain memory fall back to unbind-and-retry only, showing what
+// the swap protocol buys on a memory-conflicted workload.
+func AblationInterSwap(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "abl-swap",
+		Title:  "Inter-application swap on/off: 12 MM-L jobs, 1 GPU, 4 vGPUs",
+		Paper:  "§4.5: without swap, conflicting apps can only unbind and retry",
+		Header: []string{"configuration", "total (s)", "inter-app swaps", "unbind retries"},
+	}
+	mk := func() []workload.App {
+		apps := make([]workload.App, 12)
+		for i := range apps {
+			// CPU fraction 2: long CPU phases leave the GPU idle
+			// whenever the co-located apps cannot obtain memory, which
+			// is exactly what inter-application swap fixes.
+			apps[i] = workload.MML(2)
+		}
+		return apps
+	}
+	for _, disabled := range []bool{false, true} {
+		res, m, err := runGvrtBatch(o, core.Config{VGPUsPerDevice: 4, DisableInterSwap: disabled},
+			[]gpu.Spec{gpu.TeslaC2050}, mk())
+		if err != nil {
+			return nil, err
+		}
+		if res.Failed() > 0 {
+			return nil, fmt.Errorf("abl-swap disabled=%v: %v", disabled, firstErr(res))
+		}
+		name := "inter-app swap enabled"
+		if disabled {
+			name = "inter-app swap disabled"
+		}
+		t.Rows = append(t.Rows, []string{name, secs(res.Total),
+			fmt.Sprintf("%d", m.InterAppSwaps), fmt.Sprintf("%d", m.UnbindRetries)})
+		o.logf("abl-swap: disabled=%v done", disabled)
+	}
+	return t, nil
+}
+
+// AblationSchedulers compares the three §2 scheduling policies on a
+// contended single-vGPU device, where the waiting-list pick matters.
+func AblationSchedulers(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "abl-sched",
+		Title:  "Scheduling policies: 12 short + 4 MM-L jobs, 1 GPU, 1 vGPU",
+		Paper:  "§2: FCFS default; SJF lowers average completion; credit-based adds fairness",
+		Header: []string{"policy", "total (s)", "avg (s)", "p95 (s)"},
+	}
+	policies := []sched.Policy{sched.FCFS{}, sched.ShortestJobFirst{}, sched.CreditBased{}}
+	for _, p := range policies {
+		var total, avg, p95 float64
+		for r := 0; r < o.runs(); r++ {
+			// A mix of short jobs and long MM-L jobs: the waiting-list
+			// pick decides whether short jobs are stuck behind 30s+
+			// kernels (FCFS) or overtake them (SJF).
+			rng := sim.NewRNG(o.Seed + int64(r))
+			apps := workload.RandomShortBatch(rng, 12)
+			for i := 0; i < 4; i++ {
+				apps = append(apps, workload.MML(0))
+			}
+			rng.Shuffle(len(apps), func(i, j int) { apps[i], apps[j] = apps[j], apps[i] })
+			res, _, err := runGvrtBatch(o, core.Config{VGPUsPerDevice: 1, Policy: p},
+				[]gpu.Spec{gpu.TeslaC2050}, apps)
+			if err != nil {
+				return nil, err
+			}
+			if res.Failed() > 0 {
+				return nil, fmt.Errorf("abl-sched %s: %v", p.Name(), firstErr(res))
+			}
+			total += res.Total.Seconds()
+			avg += res.Avg.Seconds()
+			p95 += res.Percentile(95).Seconds()
+		}
+		runs := float64(o.runs())
+		t.Rows = append(t.Rows, []string{p.Name(),
+			fmt.Sprintf("%.1f", total/runs), fmt.Sprintf("%.1f", avg/runs), fmt.Sprintf("%.1f", p95/runs)})
+		o.logf("abl-sched: %s done", p.Name())
+	}
+	return t, nil
+}
+
+// AblationCheckpoint measures fault recovery with and without the
+// automatic checkpoint after long kernels (§4.6): a device is failed
+// mid-run and the kernels replayed are counted.
+func AblationCheckpoint(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "abl-ckpt",
+		Title:  "Automatic checkpointing: device failure halfway through an iterative job (2 GPUs)",
+		Paper:  "§4.6: checkpoints after long kernels bound the restart penalty",
+		Header: []string{"configuration", "job time (s)", "kernels replayed", "checkpoints"},
+	}
+	// An iterative solver: one upload, then ten 3s kernels updating the
+	// state in place, one download at the end. Without checkpoints,
+	// every kernel since the start must be replayed after a failure.
+	iterative := func() workload.App {
+		bin := api.FatBinary{ID: "abl/iter", Kernels: []api.KernelMeta{
+			{Name: "step", BaseTime: 3 * time.Second},
+		}}
+		app := workload.App{Name: "iter", Binary: bin, MemBytes: 256 << 20, KernelCalls: 10}
+		app.Ops = append(app.Ops,
+			workload.MallocOp{Buf: 0, Size: 256 << 20},
+			workload.CopyHDOp{Buf: 0, Size: 256 << 20},
+		)
+		for i := 0; i < 10; i++ {
+			app.Ops = append(app.Ops,
+				workload.KernelOp{Name: "step", Bufs: []int{0}},
+				workload.CPUPhase{D: 500 * time.Millisecond},
+			)
+		}
+		app.Ops = append(app.Ops, workload.CopyDHOp{Buf: 0, Size: 256 << 20}, workload.FreeOp{Buf: 0})
+		return app
+	}
+
+	for _, auto := range []time.Duration{0, 2 * time.Second} {
+		env, err := newNodeEnv(o, core.Config{AutoCheckpoint: auto}, gpu.TeslaC2050, gpu.TeslaC2050)
+		if err != nil {
+			return nil, err
+		}
+		app := iterative()
+
+		// Fail device 0 once it has run roughly half the job's kernels.
+		half := app.GPUTime() / 2
+		done := make(chan struct{})
+		go func() {
+			for env.crt.Device(0).Stats().Busy < half {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				env.clock.Sleep(500 * time.Millisecond)
+			}
+			env.rt.FailDevice(0)
+		}()
+
+		res := workload.RunBatch(env.clock, []workload.App{app}, env.connect)
+		close(done)
+		m := env.rt.Metrics()
+		env.rt.Close()
+		if res.Failed() > 0 {
+			return nil, fmt.Errorf("abl-ckpt auto=%v: %v", auto, firstErr(res))
+		}
+		name := "no auto-checkpoint"
+		if auto > 0 {
+			name = fmt.Sprintf("auto-checkpoint >= %s kernels", auto)
+		}
+		t.Rows = append(t.Rows, []string{name, secs(res.Total),
+			fmt.Sprintf("%d", m.Replays), fmt.Sprintf("%d", m.Memory.Checkpoints)})
+		o.logf("abl-ckpt: auto=%v done", auto)
+	}
+	t.Notes = append(t.Notes,
+		"jobs always complete with correct state; the difference is replay work after the failure")
+	return t, nil
+}
+
+// AblationOffloadThreshold sweeps the §4.7 offload threshold on an
+// overloaded single-GPU node with a three-GPU peer.
+func AblationOffloadThreshold(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "abl-offload",
+		Title:  "Offload threshold sweep: 24 short jobs on a 1-GPU node with a 3-GPU peer",
+		Paper:  "§4.7: the pending-list threshold trades local queuing against remote execution",
+		Header: []string{"threshold", "total (s)", "offloaded"},
+	}
+	for _, thr := range []int{0, 2, 4, 8, 16} {
+		clock := sim.NewClock(o.scale())
+		small, err := cluster.NewNode("small", clock, []gpu.Spec{gpu.TeslaC1060},
+			core.Config{VGPUsPerDevice: 4, OffloadThreshold: thr})
+		if err != nil {
+			return nil, err
+		}
+		big, err := cluster.NewNode("big", clock, threeGPUNode(), core.Config{VGPUsPerDevice: 4})
+		if err != nil {
+			return nil, err
+		}
+		small.SetPeer(big)
+
+		apps := workload.RandomShortBatch(sim.NewRNG(o.Seed), 24)
+		res := workload.RunBatch(clock, apps, func(i int) (workload.CUDA, error) {
+			return small.Connect()
+		})
+		m := small.RT.Metrics()
+		small.Close()
+		big.Close()
+		if res.Failed() > 0 {
+			return nil, fmt.Errorf("abl-offload thr=%d: %v", thr, firstErr(res))
+		}
+		name := fmt.Sprintf("%d", thr)
+		if thr == 0 {
+			name = "off"
+		}
+		t.Rows = append(t.Rows, []string{name, secs(res.Total), fmt.Sprintf("%d", m.Offloaded)})
+		o.logf("abl-offload: thr=%d done", thr)
+	}
+	return t, nil
+}

@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// RenderChart draws the table's numeric columns as horizontal ASCII bar
+// groups, one group per row — a terminal-friendly approximation of the
+// paper's bar charts. Non-numeric columns become the group labels;
+// every numeric column is one bar per group, scaled to the table-wide
+// maximum.
+func (t *Table) RenderChart(w io.Writer) {
+	const barWidth = 44
+
+	numeric := numericColumns(t)
+	if len(numeric) == 0 {
+		fmt.Fprintf(w, "== %s: no numeric series to chart ==\n", t.ID)
+		return
+	}
+
+	// Table-wide maximum for a common scale.
+	max := 0.0
+	for _, row := range t.Rows {
+		for _, col := range numeric {
+			if v, ok := cellValue(row, col); ok && v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	labelWidth := 0
+	for _, col := range numeric {
+		if n := len(t.Header[col]); n > labelWidth {
+			labelWidth = n
+		}
+	}
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "%s\n", rowLabel(t, row, numeric))
+		for _, col := range numeric {
+			v, ok := cellValue(row, col)
+			if !ok {
+				continue
+			}
+			n := int(v / max * barWidth)
+			if n == 0 && v > 0 {
+				n = 1
+			}
+			fmt.Fprintf(w, "  %-*s |%s %s\n", labelWidth, t.Header[col],
+				strings.Repeat("#", n), row[col])
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// numericColumns finds the columns where every non-empty cell parses as
+// a number (ignoring a trailing '%').
+func numericColumns(t *Table) []int {
+	var cols []int
+	for col := 1; col < len(t.Header); col++ {
+		any := false
+		ok := true
+		for _, row := range t.Rows {
+			if col >= len(row) || row[col] == "" || row[col] == "-" {
+				continue
+			}
+			if _, isNum := cellValue(row, col); !isNum {
+				ok = false
+				break
+			}
+			any = true
+		}
+		if ok && any {
+			cols = append(cols, col)
+		}
+	}
+	return cols
+}
+
+// cellValue parses a numeric cell; "n/a", "-" and labels fail cleanly.
+func cellValue(row []string, col int) (float64, bool) {
+	if col >= len(row) {
+		return 0, false
+	}
+	s := strings.TrimSuffix(strings.TrimSpace(row[col]), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// rowLabel joins the non-numeric cells of a row into its group label.
+func rowLabel(t *Table, row []string, numeric []int) string {
+	isNumeric := map[int]bool{}
+	for _, c := range numeric {
+		isNumeric[c] = true
+	}
+	var parts []string
+	for i, cell := range row {
+		if isNumeric[i] || cell == "" {
+			continue
+		}
+		label := cell
+		if i < len(t.Header) && t.Header[i] != "" {
+			label = t.Header[i] + "=" + cell
+		}
+		parts = append(parts, label)
+	}
+	if len(parts) == 0 {
+		return "(row)"
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"fmt"
+
+	"gvrt/internal/core"
+	"gvrt/internal/gpu"
+	"gvrt/internal/workload"
+)
+
+// Fig1 reproduces the paper's motivating example (Figure 1 and §1): two
+// applications whose aggregate memory requirements exceed one GPU.
+// On the bare CUDA runtime they must be serialized (concurrent
+// execution fails with out-of-memory); under gvrt they time-share the
+// GPU — one computes while the other runs a CPU phase — via
+// inter-application swap.
+func Fig1(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "fig1",
+		Title:  "Motivating example: two apps exceeding one GPU's memory (Tesla C2050)",
+		Paper:  "serialization idles the GPU during CPU phases; time-sharing via dynamic binding + virtual memory overlaps them",
+		Header: []string{"configuration", "total (s)", "inter-app swaps", "outcome"},
+	}
+	// 1.6 GB each: one fits a 3 GB C2050, two do not.
+	const buf = 1600 << 20
+	mk := func() []workload.App {
+		a, b := workload.Figure1Apps(buf)
+		return []workload.App{a, b}
+	}
+
+	// Bare CUDA runtime, concurrent: the second app's allocation fails.
+	bare, err := runBareBatch(o, []gpu.Spec{gpu.TeslaC2050}, mk())
+	if err != nil {
+		return nil, err
+	}
+	outcome := "both succeed"
+	if bare.Failed() > 0 {
+		outcome = fmt.Sprintf("%d of 2 FAIL (out of memory)", bare.Failed())
+	}
+	t.Rows = append(t.Rows, []string{"bare CUDA runtime, concurrent", secs(bare.Total), "-", outcome})
+
+	// gvrt serialized (1 vGPU): correct but the GPU idles in CPU phases.
+	ser, mSer, err := runGvrtBatch(o, core.Config{VGPUsPerDevice: 1}, []gpu.Spec{gpu.TeslaC2050}, mk())
+	if err != nil {
+		return nil, err
+	}
+	if ser.Failed() > 0 {
+		return nil, fmt.Errorf("fig1 serialized: %v", firstErr(ser))
+	}
+	t.Rows = append(t.Rows, []string{"gvrt, serialized (1 vGPU)", secs(ser.Total),
+		fmt.Sprintf("%d", mSer.InterAppSwaps), "both succeed"})
+
+	// gvrt shared (2 vGPUs): time-sharing through swap.
+	shr, mShr, err := runGvrtBatch(o, core.Config{VGPUsPerDevice: 2}, []gpu.Spec{gpu.TeslaC2050}, mk())
+	if err != nil {
+		return nil, err
+	}
+	if shr.Failed() > 0 {
+		return nil, fmt.Errorf("fig1 shared: %v", firstErr(shr))
+	}
+	t.Rows = append(t.Rows, []string{"gvrt, time-shared (2 vGPUs)", secs(shr.Total),
+		fmt.Sprintf("%d", mShr.InterAppSwaps), "both succeed"})
+	return t, nil
+}
+
+// AblationVGPUCount sweeps the sharing degree on a memory-conflicted
+// long-job workload — the §5.3.2 question ("four vGPUs per device
+// provide a good compromise between resource sharing and runtime
+// overhead") asked of the swap-heavy case.
+func AblationVGPUCount(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "abl-vgpus",
+		Title:  "Sharing degree: 12 MM-L jobs (CPU fraction 1), 1 GPU",
+		Paper:  "§5.3.2: sharing gains saturate; beyond the sweet spot only swap overhead grows",
+		Header: []string{"vGPUs", "total (s)", "swap events", "unbind retries"},
+	}
+	for _, v := range []int{1, 2, 4, 8} {
+		apps := make([]workload.App, 12)
+		for i := range apps {
+			apps[i] = workload.MML(1)
+		}
+		res, m, err := runGvrtBatch(o, core.Config{VGPUsPerDevice: v}, []gpu.Spec{gpu.TeslaC2050}, apps)
+		if err != nil {
+			return nil, err
+		}
+		if res.Failed() > 0 {
+			return nil, fmt.Errorf("abl-vgpus v=%d: %v", v, firstErr(res))
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", v), secs(res.Total),
+			fmt.Sprintf("%d", m.InterAppSwaps+m.IntraAppSwaps),
+			fmt.Sprintf("%d", m.UnbindRetries)})
+		o.logf("abl-vgpus: %d done", v)
+	}
+	return t, nil
+}

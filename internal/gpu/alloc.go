@@ -1,0 +1,134 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// allocGranularity mirrors cudaMalloc's coarse alignment: every
+// allocation is rounded up to a multiple of this and aligned to it.
+const allocGranularity = 256
+
+// allocator is a first-fit free-list allocator over a contiguous device
+// address range. It is deliberately simple and deliberately subject to
+// fragmentation: the paper (§4.5) notes that because of possible memory
+// fragmentation on the GPU the runtime cannot rely on utilization
+// accounting alone and must also consult the allocation return code —
+// behaviour this allocator reproduces.
+//
+// allocator is not safe for concurrent use; Device serialises access.
+type allocator struct {
+	base, size uint64
+	// free holds the free blocks sorted by address; adjacent blocks are
+	// always coalesced.
+	free []span
+	// used maps allocation base -> length.
+	used map[uint64]uint64
+	// inUse is the sum of allocated lengths.
+	inUse uint64
+}
+
+type span struct{ addr, len uint64 }
+
+func newAllocator(base, size uint64) *allocator {
+	return &allocator{
+		base: base,
+		size: size,
+		free: []span{{addr: base, len: size}},
+		used: make(map[uint64]uint64),
+	}
+}
+
+func roundUp(n uint64) uint64 {
+	return (n + allocGranularity - 1) &^ uint64(allocGranularity-1)
+}
+
+// alloc reserves n bytes (rounded up to the granularity) and returns the
+// base address, or ok=false if no free block is large enough.
+func (a *allocator) alloc(n uint64) (addr uint64, ok bool) {
+	if n == 0 {
+		n = allocGranularity
+	}
+	n = roundUp(n)
+	for i := range a.free {
+		if a.free[i].len >= n {
+			addr = a.free[i].addr
+			a.free[i].addr += n
+			a.free[i].len -= n
+			if a.free[i].len == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			a.used[addr] = n
+			a.inUse += n
+			return addr, true
+		}
+	}
+	return 0, false
+}
+
+// freeBlock releases the allocation based at addr.
+func (a *allocator) freeBlock(addr uint64) error {
+	n, ok := a.used[addr]
+	if !ok {
+		return fmt.Errorf("gpu: free of unallocated address %#x", addr)
+	}
+	delete(a.used, addr)
+	a.inUse -= n
+	// Insert in address order, then coalesce with neighbours.
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].addr > addr })
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = span{addr: addr, len: n}
+	a.coalesce(i)
+	return nil
+}
+
+func (a *allocator) coalesce(i int) {
+	// Try to merge free[i] with its successor, then its predecessor.
+	if i+1 < len(a.free) && a.free[i].addr+a.free[i].len == a.free[i+1].addr {
+		a.free[i].len += a.free[i+1].len
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].addr+a.free[i-1].len == a.free[i].addr {
+		a.free[i-1].len += a.free[i].len
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// available reports the total free bytes (which, due to fragmentation,
+// may exceed the largest satisfiable single allocation).
+func (a *allocator) available() uint64 { return a.size - a.inUse }
+
+// largestFree reports the largest single free block.
+func (a *allocator) largestFree() uint64 {
+	var max uint64
+	for _, s := range a.free {
+		if s.len > max {
+			max = s.len
+		}
+	}
+	return max
+}
+
+// resolve maps an address that may point into the middle of an
+// allocation to (allocation base, offset). ok is false if the address
+// is not inside any live allocation.
+func (a *allocator) resolve(ptr uint64) (base, off uint64, ok bool) {
+	// Linear scan is fine: allocation counts per device are small
+	// (tens), and resolve is not on the per-byte path.
+	for b, n := range a.used {
+		if ptr >= b && ptr < b+n {
+			return b, ptr - b, true
+		}
+	}
+	return 0, 0, false
+}
+
+// sizeOf returns the length of the allocation based at addr.
+func (a *allocator) sizeOf(addr uint64) (uint64, bool) {
+	n, ok := a.used[addr]
+	return n, ok
+}
+
+// allocCount returns the number of live allocations.
+func (a *allocator) allocCount() int { return len(a.used) }

@@ -1,0 +1,206 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocatorBasic(t *testing.T) {
+	a := newAllocator(0x1000, 1<<20)
+	p1, ok := a.alloc(100)
+	if !ok || p1 != 0x1000 {
+		t.Fatalf("first alloc = %#x, ok=%v", p1, ok)
+	}
+	p2, ok := a.alloc(100)
+	if !ok || p2 != 0x1000+allocGranularity {
+		t.Fatalf("second alloc = %#x, want %#x", p2, 0x1000+allocGranularity)
+	}
+	if a.available() != 1<<20-2*allocGranularity {
+		t.Errorf("available = %d", a.available())
+	}
+	if err := a.freeBlock(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.freeBlock(p2); err != nil {
+		t.Fatal(err)
+	}
+	if a.available() != 1<<20 {
+		t.Errorf("available after frees = %d, want %d", a.available(), 1<<20)
+	}
+	if len(a.free) != 1 {
+		t.Errorf("free list not coalesced: %v", a.free)
+	}
+}
+
+func TestAllocatorZeroSize(t *testing.T) {
+	a := newAllocator(0, 1<<20)
+	p, ok := a.alloc(0)
+	if !ok {
+		t.Fatal("zero-size alloc failed")
+	}
+	if n, _ := a.sizeOf(p); n != allocGranularity {
+		t.Errorf("zero-size alloc got %d bytes, want %d", n, allocGranularity)
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	a := newAllocator(0, 4*allocGranularity)
+	var ptrs []uint64
+	for {
+		p, ok := a.alloc(allocGranularity)
+		if !ok {
+			break
+		}
+		ptrs = append(ptrs, p)
+	}
+	if len(ptrs) != 4 {
+		t.Fatalf("allocated %d blocks, want 4", len(ptrs))
+	}
+	if _, ok := a.alloc(1); ok {
+		t.Error("alloc succeeded on exhausted arena")
+	}
+	for _, p := range ptrs {
+		if err := a.freeBlock(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := a.alloc(4 * allocGranularity); !ok {
+		t.Error("full-size alloc failed after freeing everything")
+	}
+}
+
+func TestAllocatorFragmentation(t *testing.T) {
+	// Allocate 4 blocks, free alternating ones: total free is 2 blocks
+	// but the largest single allocation is 1 block.
+	a := newAllocator(0, 4*allocGranularity)
+	var ptrs []uint64
+	for i := 0; i < 4; i++ {
+		p, ok := a.alloc(allocGranularity)
+		if !ok {
+			t.Fatal("setup alloc failed")
+		}
+		ptrs = append(ptrs, p)
+	}
+	if err := a.freeBlock(ptrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.freeBlock(ptrs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if a.available() != 2*allocGranularity {
+		t.Errorf("available = %d, want %d", a.available(), 2*allocGranularity)
+	}
+	if a.largestFree() != allocGranularity {
+		t.Errorf("largestFree = %d, want %d", a.largestFree(), allocGranularity)
+	}
+	// This is the fragmentation failure the paper's §4.5 calls out:
+	// accounting says 2 blocks are free, yet a 2-block alloc fails.
+	if _, ok := a.alloc(2 * allocGranularity); ok {
+		t.Error("2-block alloc should fail on fragmented arena")
+	}
+}
+
+func TestAllocatorDoubleFree(t *testing.T) {
+	a := newAllocator(0, 1<<20)
+	p, _ := a.alloc(64)
+	if err := a.freeBlock(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.freeBlock(p); err == nil {
+		t.Error("double free not detected")
+	}
+	if err := a.freeBlock(0x9999999); err == nil {
+		t.Error("free of never-allocated address not detected")
+	}
+}
+
+func TestAllocatorResolve(t *testing.T) {
+	a := newAllocator(0x1000, 1<<20)
+	p, _ := a.alloc(1000) // rounds to 1024
+	base, off, ok := a.resolve(p + 500)
+	if !ok || base != p || off != 500 {
+		t.Errorf("resolve(p+500) = (%#x, %d, %v)", base, off, ok)
+	}
+	if _, _, ok := a.resolve(p + 2048); ok {
+		t.Error("resolve past end of allocation should fail")
+	}
+	if _, _, ok := a.resolve(0x500); ok {
+		t.Error("resolve below arena base should fail")
+	}
+}
+
+// TestAllocatorInvariants property-tests the allocator against a random
+// sequence of alloc/free operations: accounting must balance, live
+// allocations must never overlap, and the free list must stay sorted
+// and coalesced.
+func TestAllocatorInvariants(t *testing.T) {
+	check := func(ops []uint16) bool {
+		a := newAllocator(1<<20, 1<<22)
+		var live []uint64
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				size := uint64(op)%(128*1024) + 1
+				if p, ok := a.alloc(size); ok {
+					live = append(live, p)
+				}
+			} else {
+				i := int(op) % len(live)
+				if err := a.freeBlock(live[i]); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			if !allocatorInvariantsHold(a, live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func allocatorInvariantsHold(a *allocator, live []uint64) bool {
+	// Accounting balances.
+	var liveSum uint64
+	for _, p := range live {
+		n, ok := a.sizeOf(p)
+		if !ok {
+			return false
+		}
+		liveSum += n
+	}
+	if liveSum != a.inUse {
+		return false
+	}
+	var freeSum uint64
+	for i, s := range a.free {
+		freeSum += s.len
+		if s.len == 0 {
+			return false
+		}
+		if i > 0 {
+			prev := a.free[i-1]
+			if prev.addr+prev.len > s.addr {
+				return false // overlapping or unsorted
+			}
+			if prev.addr+prev.len == s.addr {
+				return false // uncoalesced neighbours
+			}
+		}
+	}
+	if freeSum != a.available() || freeSum+liveSum != a.size {
+		return false
+	}
+	// Live allocations never overlap a free span.
+	for _, p := range live {
+		n, _ := a.sizeOf(p)
+		for _, s := range a.free {
+			if p < s.addr+s.len && s.addr < p+n {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,367 @@
+package gpu
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gvrt/internal/api"
+	"gvrt/internal/sim"
+)
+
+// Extra fixed costs of device memory management calls (model time).
+const (
+	// MallocTime models cudaMalloc's synchronous round trip.
+	MallocTime = 100 * time.Microsecond
+	// FreeTime models cudaFree's synchronous round trip.
+	FreeTime = 50 * time.Microsecond
+)
+
+// Device is one simulated GPU. All methods are safe for concurrent use:
+// memory-map state is guarded by a mutex, while kernel execution and DMA
+// transfers serialise on the execution and copy engines respectively —
+// concurrent callers queue exactly as concurrent CUDA contexts queue on
+// real hardware.
+type Device struct {
+	id    int
+	spec  Spec
+	clock *sim.Clock
+
+	mu    sync.Mutex
+	alloc *allocator
+	// bufs backs allocations that have carried real data, keyed by
+	// allocation base. Synthetic (timing-only) traffic never
+	// materialises backing, which keeps multi-gigabyte modeled
+	// workloads cheap in host RAM.
+	bufs map[api.DevPtr][]byte
+
+	execMu sync.Mutex // the execution engine: one kernel at a time
+	dmaMu  sync.Mutex // the copy engine: one DMA transfer at a time
+
+	failed  atomic.Bool
+	removed atomic.Bool
+
+	launches atomic.Int64
+	h2dBytes atomic.Int64
+	d2hBytes atomic.Int64
+	h2dOps   atomic.Int64
+	d2hOps   atomic.Int64
+	busy     atomic.Int64 // model ns the execution engine was held
+}
+
+// Stats is a snapshot of a device's activity counters.
+type Stats struct {
+	Launches int64
+	H2DBytes int64
+	D2HBytes int64
+	// H2DOps and D2HOps count individual DMA transfers; bulk transfer
+	// coalescing shows up as fewer H2DOps for the same H2DBytes.
+	H2DOps int64
+	D2HOps int64
+	// Busy is the cumulative model time the execution engine was
+	// occupied by kernels.
+	Busy time.Duration
+}
+
+// NewDevice creates a device with the given ordinal and specification.
+// Each device owns a disjoint slice of the global address space so
+// device pointers from different GPUs can never be confused.
+func NewDevice(id int, spec Spec, clock *sim.Clock) *Device {
+	base := uint64(id+1) << 40
+	return &Device{
+		id:    id,
+		spec:  spec,
+		clock: clock,
+		alloc: newAllocator(base, spec.MemBytes),
+		bufs:  make(map[api.DevPtr][]byte),
+	}
+}
+
+// ID returns the device ordinal.
+func (d *Device) ID() int { return d.id }
+
+// Spec returns the device specification.
+func (d *Device) Spec() Spec { return d.spec }
+
+// String implements fmt.Stringer.
+func (d *Device) String() string { return fmt.Sprintf("GPU%d(%s)", d.id, d.spec.Name) }
+
+// Capacity returns the device memory size.
+func (d *Device) Capacity() uint64 { return d.spec.MemBytes }
+
+// Available returns the total free device memory.
+func (d *Device) Available() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.alloc.available()
+}
+
+// LargestFree returns the largest single allocatable block; because of
+// fragmentation it can be smaller than Available.
+func (d *Device) LargestFree() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.alloc.largestFree()
+}
+
+// AllocCount returns the number of live allocations.
+func (d *Device) AllocCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.alloc.allocCount()
+}
+
+// Stats returns a snapshot of the activity counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Launches: d.launches.Load(),
+		H2DBytes: d.h2dBytes.Load(),
+		D2HBytes: d.d2hBytes.Load(),
+		H2DOps:   d.h2dOps.Load(),
+		D2HOps:   d.d2hOps.Load(),
+		Busy:     time.Duration(d.busy.Load()),
+	}
+}
+
+// Fail marks the device failed: every subsequent operation returns
+// ErrDeviceUnavailable until Restore.
+func (d *Device) Fail() { d.failed.Store(true) }
+
+// Restore clears the failed state.
+func (d *Device) Restore() { d.failed.Store(false) }
+
+// Failed reports whether the device is failed.
+func (d *Device) Failed() bool { return d.failed.Load() }
+
+// MarkRemoved flags the device as administratively removed (dynamic
+// downgrade); operations fail as on a failed device but the distinction
+// is preserved for metrics.
+func (d *Device) MarkRemoved() { d.removed.Store(true) }
+
+// Removed reports whether the device was administratively removed.
+func (d *Device) Removed() bool { return d.removed.Load() }
+
+// usable returns ErrDeviceUnavailable when the device cannot serve.
+func (d *Device) usable() error {
+	if d.failed.Load() || d.removed.Load() {
+		return api.ErrDeviceUnavailable
+	}
+	return nil
+}
+
+// Malloc reserves n bytes of device memory. It fails with
+// ErrMemoryAllocation when no single free block can satisfy the request,
+// exactly like cudaMalloc under fragmentation.
+func (d *Device) Malloc(n uint64) (api.DevPtr, error) {
+	if err := d.usable(); err != nil {
+		return 0, err
+	}
+	d.clock.Sleep(MallocTime)
+	d.mu.Lock()
+	addr, ok := d.alloc.alloc(n)
+	d.mu.Unlock()
+	if !ok {
+		return 0, api.ErrMemoryAllocation
+	}
+	return api.DevPtr(addr), nil
+}
+
+// Free releases an allocation made by Malloc. Freeing an address that is
+// not an allocation base returns ErrInvalidDevicePointer.
+func (d *Device) Free(p api.DevPtr) error {
+	if err := d.usable(); err != nil {
+		return err
+	}
+	d.clock.Sleep(FreeTime)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.alloc.freeBlock(uint64(p)); err != nil {
+		return api.ErrInvalidDevicePointer
+	}
+	delete(d.bufs, p)
+	return nil
+}
+
+// resolve maps ptr to (allocation base, offset, allocation size).
+func (d *Device) resolve(ptr api.DevPtr) (base api.DevPtr, off, size uint64, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b, o, ok := d.alloc.resolve(uint64(ptr))
+	if !ok {
+		return 0, 0, 0, api.ErrInvalidDevicePointer
+	}
+	n, _ := d.alloc.sizeOf(b)
+	return api.DevPtr(b), o, n, nil
+}
+
+// dmaTime returns the model duration of moving n bytes over the copy
+// engine.
+func (d *Device) dmaTime(n uint64) time.Duration {
+	bw := d.spec.BandwidthBps
+	if bw == 0 {
+		bw = 6 << 30
+	}
+	return MemcpyOverhead + time.Duration(float64(n)/float64(bw)*float64(time.Second))
+}
+
+// CopyIn transfers size bytes from host to dst. When data is non-nil it
+// carries the real bytes (len(data) == size) and the allocation's
+// backing store is updated; when data is nil the transfer is
+// timing-and-accounting only. The transfer occupies the copy engine for
+// its modeled duration and fails if it would run past the end of the
+// allocation.
+func (d *Device) CopyIn(dst api.DevPtr, data []byte, size uint64) error {
+	if err := d.usable(); err != nil {
+		return err
+	}
+	if data != nil {
+		size = uint64(len(data))
+	}
+	base, off, alloc, err := d.resolve(dst)
+	if err != nil {
+		return err
+	}
+	if off+size > alloc {
+		return api.ErrInvalidValue
+	}
+	d.dmaMu.Lock()
+	d.clock.Sleep(d.dmaTime(size))
+	d.dmaMu.Unlock()
+	if err := d.usable(); err != nil {
+		return err
+	}
+	d.h2dBytes.Add(int64(size))
+	d.h2dOps.Add(1)
+	if data != nil {
+		d.mu.Lock()
+		buf := d.backing(base, alloc)
+		copy(buf[off:], data)
+		d.mu.Unlock()
+	}
+	return nil
+}
+
+// CopyOut transfers size bytes from src to the host. The returned slice
+// is nil when the allocation has no real backing (synthetic traffic);
+// timing and accounting are identical either way.
+func (d *Device) CopyOut(src api.DevPtr, size uint64) ([]byte, error) {
+	if err := d.usable(); err != nil {
+		return nil, err
+	}
+	base, off, alloc, err := d.resolve(src)
+	if err != nil {
+		return nil, err
+	}
+	if off+size > alloc {
+		return nil, api.ErrInvalidValue
+	}
+	d.dmaMu.Lock()
+	d.clock.Sleep(d.dmaTime(size))
+	d.dmaMu.Unlock()
+	if err := d.usable(); err != nil {
+		return nil, err
+	}
+	d.d2hBytes.Add(int64(size))
+	d.d2hOps.Add(1)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if buf, ok := d.bufs[base]; ok {
+		out := make([]byte, size)
+		copy(out, buf[off:])
+		return out, nil
+	}
+	return nil, nil
+}
+
+// CopyDD transfers size bytes between two device allocations.
+func (d *Device) CopyDD(dst, src api.DevPtr, size uint64) error {
+	if err := d.usable(); err != nil {
+		return err
+	}
+	db, doff, dalloc, err := d.resolve(dst)
+	if err != nil {
+		return err
+	}
+	sb, soff, salloc, err := d.resolve(src)
+	if err != nil {
+		return err
+	}
+	if doff+size > dalloc || soff+size > salloc {
+		return api.ErrInvalidValue
+	}
+	d.dmaMu.Lock()
+	// On-device copies are roughly an order of magnitude faster than
+	// PCIe transfers.
+	d.clock.Sleep(d.dmaTime(size / 10))
+	d.dmaMu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if sbuf, ok := d.bufs[sb]; ok {
+		dbuf := d.backing(db, dalloc)
+		copy(dbuf[doff:doff+size], sbuf[soff:])
+	}
+	return nil
+}
+
+// backing returns (materialising if needed) the byte store for the
+// allocation based at base. Caller holds d.mu.
+func (d *Device) backing(base api.DevPtr, size uint64) []byte {
+	buf, ok := d.bufs[base]
+	if !ok {
+		buf = make([]byte, size)
+		d.bufs[base] = buf
+	}
+	return buf
+}
+
+// Bytes exposes the backing bytes of the allocation containing ptr,
+// starting at ptr, materialising the store on first use. It is how
+// kernel implementations see "device memory".
+func (d *Device) Bytes(ptr api.DevPtr) ([]byte, error) {
+	base, off, size, err := d.resolve(ptr)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.backing(base, size)[off:], nil
+}
+
+// Exec occupies the execution engine for repeat back-to-back runs of a
+// kernel whose reference-device duration is base, then applies fn (the
+// kernel's host-side data transformation) once per run if non-nil.
+// The per-launch overhead is charged for every run.
+func (d *Device) Exec(base time.Duration, repeat int, fn func() error) error {
+	if err := d.usable(); err != nil {
+		return err
+	}
+	if repeat < 1 {
+		repeat = 1
+	}
+	speed := d.spec.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	per := LaunchOverhead + time.Duration(float64(base)/speed)
+	total := per * time.Duration(repeat)
+
+	d.execMu.Lock()
+	d.clock.Sleep(total)
+	d.busy.Add(int64(total))
+	d.launches.Add(int64(repeat))
+	d.execMu.Unlock()
+
+	if err := d.usable(); err != nil {
+		// The device died while the kernel was in flight.
+		return err
+	}
+	if fn != nil {
+		for i := 0; i < repeat; i++ {
+			if err := fn(); err != nil {
+				return fmt.Errorf("kernel execution: %w", api.ErrLaunchFailure)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package memmgr
+
+import (
+	"testing"
+
+	"gvrt/internal/api"
+)
+
+func BenchmarkMallocResolve(b *testing.B) {
+	m := New(true, 0)
+	var ptrs []api.DevPtr
+	for i := 0; i < 64; i++ {
+		v, err := m.Malloc(1, 4096, KindLinear)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ptrs = append(ptrs, v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Resolve(ptrs[i%len(ptrs)] + 17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMakeResidentSwapOut(b *testing.B) {
+	m := New(true, 0)
+	dev := newFakeOps(1 << 30)
+	v, err := m.Malloc(1, 1<<20, KindLinear)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pte, _, _ := m.Resolve(v)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.MakeResident(pte, dev); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.SwapOut(pte, dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCopyHDDeferred(b *testing.B) {
+	m := New(true, 0)
+	v, _ := m.Malloc(1, 1<<16, KindLinear)
+	pte, _, _ := m.Resolve(v)
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.CopyHD(pte, uint64(i%16)*4096, data, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpoint(b *testing.B) {
+	m := New(true, 0)
+	dev := newFakeOps(1 << 30)
+	var ptes []*PTE
+	for i := 0; i < 16; i++ {
+		v, _ := m.Malloc(1, 1<<16, KindLinear)
+		pte, _, _ := m.Resolve(v)
+		if err := m.MakeResident(pte, dev); err != nil {
+			b.Fatal(err)
+		}
+		ptes = append(ptes, pte)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MarkKernelEffects(ptes, nil)
+		if _, err := m.Checkpoint(1, dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,676 @@
+// Package memmgr implements the paper's central contribution: a virtual
+// memory abstraction for GPUs (§4.5).
+//
+// Applications never see device addresses. Every allocation returns a
+// virtual pointer backed by a page-table entry (PTE) holding the three
+// pointers of the paper's design — virtual, swap, device — plus the
+// isAllocated / toCopy2Dev / toCopy2Swap flags whose transitions follow
+// Figure 4 exactly. Data lives in the host-side swap area and moves to
+// the device on demand, which is what makes application→GPU binding
+// dynamic: a context can be unbound (fully swapped out) at any CPU
+// phase and later re-bound to any device.
+//
+// The manager implements the per-call actions and error returns of
+// Table 1, the two swap flavours (§4.5 intra-application and
+// inter-application swap are orchestrated above this package, using
+// SwapOut/SwapOutAll), nested-structure registration with device-pointer
+// patching, transfer deferral with bulk coalescing, and the implicit
+// checkpoint capability of §4.6.
+//
+// Locking: the maps are guarded by the manager's mutex. PTE fields are
+// mutated only while holding the owning context's service lock (the
+// runtime guarantees this: a context's own dispatcher goroutine holds it
+// while serving a call, and inter-application swap or migration acquire
+// it via TryLock before touching a victim's entries), so flag
+// transitions never race.
+package memmgr
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gvrt/internal/api"
+)
+
+// Kind distinguishes the allocation flavours of the CUDA API (the
+// page-table entry's "type" attribute in §4.5).
+type Kind int
+
+// Allocation kinds.
+const (
+	// KindLinear is a cudaMalloc linear allocation.
+	KindLinear Kind = iota
+	// KindArray is a cudaMallocArray allocation.
+	KindArray
+	// KindPitched is a cudaMallocPitch allocation.
+	KindPitched
+)
+
+// Nested describes a registered nested data structure (§1, §4.5): the
+// parent allocation embeds, at Offsets[i], the device address of
+// Members[i]. The manager keeps those embedded pointers consistent:
+// virtual in the swap copy, physical in the device copy.
+type Nested struct {
+	Members []api.DevPtr
+	Offsets []uint64
+}
+
+// PTE is a page-table entry: one per allocation, created on a memory
+// allocation operation (§4.5).
+type PTE struct {
+	// Virtual is the pointer the application sees.
+	Virtual api.DevPtr
+	// Device is the real device pointer while IsAllocated.
+	Device api.DevPtr
+	// Size is the allocation length in bytes.
+	Size uint64
+	// IsAllocated reports whether the entry currently has device memory.
+	IsAllocated bool
+	// ToCopy2Dev reports that the authoritative data is only in the
+	// swap area and must move to the device before the next kernel.
+	ToCopy2Dev bool
+	// ToCopy2Swap reports that the authoritative data is only on the
+	// device (a kernel may have written it) and must be copied back
+	// before the device copy is dropped.
+	ToCopy2Swap bool
+	// Kind is the allocation flavour.
+	Kind Kind
+	// Nested is non-nil for registered nested structures.
+	Nested *Nested
+	// LostDirty records that device-only data was lost to a device
+	// failure; the runtime clears it by replaying kernels (§4.6).
+	LostDirty bool
+
+	ctxID int64
+	// data is the swap-area backing. It is materialised lazily and only
+	// for entries that carry real bytes; synthetic (timing-only)
+	// workloads keep it nil however large Size is.
+	data []byte
+	// writesSinceResident counts deferred host writes folded into the
+	// next bulk host→device transfer (the §4.5 coalescing benefit).
+	writesSinceResident int
+}
+
+// CtxID returns the owning context's identifier.
+func (p *PTE) CtxID() int64 { return p.ctxID }
+
+// HasData reports whether the entry carries real bytes in swap.
+func (p *PTE) HasData() bool { return p.data != nil }
+
+// Stats is a snapshot of the manager's counters.
+type Stats struct {
+	// SwapOps counts page-table entries swapped out (device→swap spill
+	// plus device free), the quantity reported on top of the bars in
+	// Figures 7 and 8.
+	SwapOps int64
+	// SwapBytes counts bytes moved device→swap by swap operations.
+	SwapBytes int64
+	// CoalescedWrites counts host→device transfers avoided because
+	// several deferred writes to one entry were folded into a single
+	// bulk transfer.
+	CoalescedWrites int64
+	// BadOpsRejected counts out-of-bounds or invalid-pointer operations
+	// rejected before reaching the CUDA runtime (§4.5: bad memory
+	// operations are detected without overloading the CUDA runtime).
+	BadOpsRejected int64
+	// Checkpoints counts explicit and automatic checkpoint flushes.
+	Checkpoints int64
+	// HostBytesInUse is the current swap-area occupancy (modeled).
+	HostBytesInUse uint64
+}
+
+// DeviceOps is the slice of a bound virtual GPU's CUDA context that the
+// manager drives: real allocation, de-allocation and transfers on the
+// physical device.
+type DeviceOps interface {
+	Malloc(size uint64) (api.DevPtr, error)
+	Free(p api.DevPtr) error
+	MemcpyHD(dst api.DevPtr, data []byte, size uint64) error
+	MemcpyDH(src api.DevPtr, size uint64) ([]byte, error)
+}
+
+// Manager is the runtime's memory manager. One instance serves all
+// contexts and all devices of a node.
+type Manager struct {
+	// DeferTransfers selects the transfer-deferral configuration
+	// (§4.5): when true (the evaluation's setting), host→device data
+	// movement happens lazily at kernel launch; when false, writes go
+	// through to the device immediately while it is resident, trading
+	// swap overhead for computation/communication overlap.
+	DeferTransfers bool
+
+	mu        sync.Mutex
+	hostLimit uint64
+	hostUsed  uint64
+	tables    map[int64][]*PTE
+	next      map[int64]uint64
+	usage     map[int64]uint64
+
+	swapOps    atomic.Int64
+	swapBytes  atomic.Int64
+	coalesced  atomic.Int64
+	badOps     atomic.Int64
+	checkpoint atomic.Int64
+}
+
+// virtTag marks virtual addresses so they can never be mistaken for
+// device addresses (devices live below 1<<48).
+const virtTag = uint64(1) << 63
+
+// ctxShift positions the context ID inside a virtual address, leaving
+// 40 bits (1 TiB) of per-context offset space.
+const ctxShift = 40
+
+// New creates a manager whose swap area is capped at hostLimit bytes of
+// modeled occupancy (0 means unlimited). The paper's node has 48 GB of
+// host memory backing the swap area.
+func New(deferTransfers bool, hostLimit uint64) *Manager {
+	return &Manager{
+		DeferTransfers: deferTransfers,
+		hostLimit:      hostLimit,
+		tables:         make(map[int64][]*PTE),
+		next:           make(map[int64]uint64),
+		usage:          make(map[int64]uint64),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	used := m.hostUsed
+	m.mu.Unlock()
+	return Stats{
+		SwapOps:         m.swapOps.Load(),
+		SwapBytes:       m.swapBytes.Load(),
+		CoalescedWrites: m.coalesced.Load(),
+		BadOpsRejected:  m.badOps.Load(),
+		Checkpoints:     m.checkpoint.Load(),
+		HostBytesInUse:  used,
+	}
+}
+
+// Malloc services an allocation call (Table 1, malloc row): it creates
+// the page-table entry and reserves swap space, touching no device. The
+// returned pointer is virtual.
+func (m *Manager) Malloc(ctxID int64, size uint64, kind Kind) (api.DevPtr, error) {
+	if size == 0 {
+		m.badOps.Add(1)
+		return 0, api.ErrInvalidValue
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.hostLimit > 0 && m.hostUsed+size > m.hostLimit {
+		return 0, api.ErrSwapAllocation
+	}
+	off := m.next[ctxID]
+	// Align entries to 256 bytes like device allocations.
+	m.next[ctxID] = off + (size+255)&^uint64(255)
+	v := api.DevPtr(virtTag | uint64(ctxID)<<ctxShift | off)
+	pte := &PTE{Virtual: v, Size: size, Kind: kind, ctxID: ctxID}
+	m.tables[ctxID] = append(m.tables[ctxID], pte)
+	m.usage[ctxID] += size
+	m.hostUsed += size
+	return v, nil
+}
+
+// Resolve maps a virtual pointer (possibly mid-entry) to its entry and
+// offset. Table 1's "check valid PTE": failures are counted as bad
+// operations and reported as ErrInvalidDevicePointer without reaching
+// the device.
+func (m *Manager) Resolve(ptr api.DevPtr) (*PTE, uint64, error) {
+	if uint64(ptr)&virtTag == 0 {
+		m.badOps.Add(1)
+		return nil, 0, api.ErrInvalidDevicePointer
+	}
+	ctxID := int64(uint64(ptr) &^ virtTag >> ctxShift)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, pte := range m.tables[ctxID] {
+		if ptr >= pte.Virtual && ptr < pte.Virtual+api.DevPtr(pte.Size) {
+			return pte, uint64(ptr - pte.Virtual), nil
+		}
+	}
+	m.badOps.Add(1)
+	return nil, 0, api.ErrInvalidDevicePointer
+}
+
+// EntriesOf returns a snapshot of a context's page table.
+func (m *Manager) EntriesOf(ctxID int64) []*PTE {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*PTE(nil), m.tables[ctxID]...)
+}
+
+// UsageOf reports the context's total allocation footprint (the
+// MemUsage map of §4.5).
+func (m *Manager) UsageOf(ctxID int64) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.usage[ctxID]
+}
+
+// ResidentBytes reports how much of the context's footprint currently
+// occupies device memory.
+func (m *Manager) ResidentBytes(ctxID int64) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum uint64
+	for _, pte := range m.tables[ctxID] {
+		if pte.IsAllocated {
+			sum += pte.Size
+		}
+	}
+	return sum
+}
+
+// swapData returns the entry's swap backing, materialising it when the
+// entry carries real bytes.
+func (p *PTE) swapData() []byte {
+	if p.data == nil {
+		p.data = make([]byte, p.Size)
+	}
+	return p.data
+}
+
+// CopyHD services a host→device transfer (Table 1, copyHD row): bounds
+// are checked against the entry, the bytes land in the swap area, and —
+// under deferral or while the entry is off-device — the device is not
+// touched; the entry moves to the "data only on host" state of Figure 4.
+// Without deferral, a resident entry is written through. ops may be nil
+// when the context is unbound (then writes always defer).
+func (m *Manager) CopyHD(pte *PTE, off uint64, data []byte, size uint64, ops DeviceOps) error {
+	if data != nil {
+		size = uint64(len(data))
+	}
+	if off+size > pte.Size {
+		m.badOps.Add(1)
+		return api.ErrSizeMismatch
+	}
+	// A partial deferred write over device-newer data must first pull
+	// the device copy down, or the eventual bulk transfer would clobber
+	// the kernel's output with stale swap bytes.
+	if pte.ToCopy2Swap && (off != 0 || size != pte.Size) {
+		if ops == nil {
+			return api.ErrInvalidValue
+		}
+		if err := m.syncToSwap(pte, ops); err != nil {
+			return err
+		}
+	}
+	if data != nil {
+		copy(pte.swapData()[off:], data)
+	}
+	pte.ToCopy2Swap = false
+	if !m.DeferTransfers && pte.IsAllocated && ops != nil {
+		if err := ops.MemcpyHD(pte.Device+api.DevPtr(off), data, size); err != nil {
+			return err
+		}
+		pte.ToCopy2Dev = false
+		return nil
+	}
+	pte.ToCopy2Dev = true
+	pte.writesSinceResident++
+	return nil
+}
+
+// Memset services a cudaMemset (Table 1's copyHD row semantics with a
+// constant source): the fill lands in the swap area and defers to the
+// device like any host write. Real bytes are materialised only when the
+// entry already carries data.
+func (m *Manager) Memset(pte *PTE, off uint64, value byte, size uint64, ops DeviceOps) error {
+	if off+size > pte.Size {
+		m.badOps.Add(1)
+		return api.ErrInvalidValue
+	}
+	if pte.ToCopy2Swap && (off != 0 || size != pte.Size) {
+		if ops == nil {
+			return api.ErrInvalidValue
+		}
+		if err := m.syncToSwap(pte, ops); err != nil {
+			return err
+		}
+	}
+	if pte.data != nil || value != 0 {
+		buf := pte.swapData()
+		for i := off; i < off+size; i++ {
+			buf[i] = value
+		}
+	}
+	pte.ToCopy2Swap = false
+	if !m.DeferTransfers && pte.IsAllocated && ops != nil {
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = value
+		}
+		if err := ops.MemcpyHD(pte.Device+api.DevPtr(off), data, size); err != nil {
+			return err
+		}
+		pte.ToCopy2Dev = false
+		return nil
+	}
+	pte.ToCopy2Dev = true
+	pte.writesSinceResident++
+	return nil
+}
+
+// CopyDH services a device→host transfer (Table 1, copyDH row): when
+// the authoritative copy is on the device it is pulled into swap first;
+// the returned bytes come from the swap area (nil for synthetic
+// entries). The entry ends in the "host and device in sync" state.
+func (m *Manager) CopyDH(pte *PTE, off, size uint64, ops DeviceOps) ([]byte, error) {
+	if off+size > pte.Size {
+		m.badOps.Add(1)
+		return nil, api.ErrInvalidValue
+	}
+	if pte.ToCopy2Swap {
+		if ops == nil {
+			return nil, api.ErrInvalidValue
+		}
+		if err := m.syncToSwap(pte, ops); err != nil {
+			return nil, err
+		}
+	}
+	if pte.data == nil {
+		return nil, nil
+	}
+	out := make([]byte, size)
+	copy(out, pte.data[off:])
+	return out, nil
+}
+
+// syncToSwap pulls the whole entry device→swap and clears ToCopy2Swap.
+func (m *Manager) syncToSwap(pte *PTE, ops DeviceOps) error {
+	data, err := ops.MemcpyDH(pte.Device, pte.Size)
+	if err != nil {
+		return err
+	}
+	if data != nil {
+		copy(pte.swapData(), data)
+		if pte.Nested != nil {
+			m.patchPointers(pte, pte.swapData(), true)
+		}
+	}
+	pte.ToCopy2Swap = false
+	return nil
+}
+
+// Free services a de-allocation (Table 1, free row): swap space is
+// released and, if the entry is resident, the device allocation is
+// freed.
+func (m *Manager) Free(pte *PTE, ops DeviceOps) error {
+	if pte.IsAllocated && ops != nil {
+		if err := ops.Free(pte.Device); err != nil {
+			return err
+		}
+	}
+	pte.IsAllocated = false
+	pte.Device = 0
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tbl := m.tables[pte.ctxID]
+	for i, e := range tbl {
+		if e == pte {
+			m.tables[pte.ctxID] = append(tbl[:i], tbl[i+1:]...)
+			m.usage[pte.ctxID] -= pte.Size
+			m.hostUsed -= pte.Size
+			return nil
+		}
+	}
+	m.badOps.Add(1)
+	return api.ErrInvalidDevicePointer
+}
+
+// RegisterNested records a nested structure (§4.5 "nested" attribute):
+// parent embeds the device addresses of members at the given offsets.
+// Members must be entries of the same context and offsets must leave
+// room for an 8-byte pointer.
+func (m *Manager) RegisterNested(parent *PTE, members []api.DevPtr, offsets []uint64) error {
+	if len(members) != len(offsets) {
+		m.badOps.Add(1)
+		return api.ErrInvalidValue
+	}
+	for i, off := range offsets {
+		if off+8 > parent.Size {
+			m.badOps.Add(1)
+			return api.ErrInvalidValue
+		}
+		pte, _, err := m.Resolve(members[i])
+		if err != nil {
+			return err
+		}
+		if pte.ctxID != parent.ctxID {
+			m.badOps.Add(1)
+			return api.ErrInvalidDevicePointer
+		}
+	}
+	parent.Nested = &Nested{
+		Members: append([]api.DevPtr(nil), members...),
+		Offsets: append([]uint64(nil), offsets...),
+	}
+	return nil
+}
+
+// patchPointers rewrites the embedded member pointers inside buf (the
+// parent's swap image): toVirtual=false installs the members' current
+// device addresses (device-bound image), toVirtual=true restores the
+// virtual addresses (host-side image).
+func (m *Manager) patchPointers(parent *PTE, buf []byte, toVirtual bool) {
+	for i, member := range parent.Nested.Members {
+		pte, off, err := m.Resolve(member)
+		if err != nil {
+			continue
+		}
+		addr := uint64(member)
+		if !toVirtual {
+			addr = uint64(pte.Device) + off
+		}
+		o := parent.Nested.Offsets[i]
+		putU64(buf[o:], addr)
+	}
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// MakeResident performs the launch-row actions of Table 1 for one
+// entry: allocate device memory if needed (the caller handles
+// ErrMemoryAllocation by swapping, per §4.5) and perform the deferred
+// bulk host→device transfer if the swap copy is authoritative. Nested
+// members are made resident first and the parent's device image gets
+// their device addresses patched in.
+func (m *Manager) MakeResident(pte *PTE, ops DeviceOps) error {
+	return m.makeResident(pte, ops, 0)
+}
+
+func (m *Manager) makeResident(pte *PTE, ops DeviceOps, depth int) error {
+	if depth > 8 {
+		return api.ErrInvalidValue // nested cycle; registration bug
+	}
+	if pte.Nested != nil {
+		for _, member := range pte.Nested.Members {
+			mp, _, err := m.Resolve(member)
+			if err != nil {
+				return err
+			}
+			if err := m.makeResident(mp, ops, depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	if !pte.IsAllocated {
+		dev, err := ops.Malloc(pte.Size)
+		if err != nil {
+			return err
+		}
+		pte.Device = dev
+		pte.IsAllocated = true
+		// Fresh device memory never holds the entry's data.
+		if pte.ToCopy2Swap {
+			pte.ToCopy2Swap = false
+		}
+	}
+	if pte.ToCopy2Dev {
+		var img []byte
+		if pte.data != nil {
+			img = pte.swapData()
+			if pte.Nested != nil {
+				// Install device addresses in the on-device image; the
+				// swap image keeps virtual addresses.
+				img = append([]byte(nil), img...)
+				m.patchPointers(pte, img, false)
+			}
+		}
+		if err := ops.MemcpyHD(pte.Device, img, pte.Size); err != nil {
+			return err
+		}
+		if pte.writesSinceResident > 1 {
+			m.coalesced.Add(int64(pte.writesSinceResident - 1))
+		}
+		pte.writesSinceResident = 0
+		pte.ToCopy2Dev = false
+	} else if pte.Nested != nil && pte.data != nil {
+		// Data already on device but member residency may have changed
+		// the embedded addresses; refresh the pointer words only.
+		img := append([]byte(nil), pte.swapData()...)
+		m.patchPointers(pte, img, false)
+		for _, o := range pte.Nested.Offsets {
+			if err := ops.MemcpyHD(pte.Device+api.DevPtr(o), img[o:o+8], 8); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MarkKernelEffects applies Figure 4's post-launch transition to the
+// launch's referenced entries: absent read-only information, every
+// referenced entry is assumed modified, so the device copy becomes the
+// authoritative one. readOnly, when non-nil, marks entries the kernel
+// only reads (the finer-grained handling §4.5 mentions), which then
+// stay in sync.
+func (m *Manager) MarkKernelEffects(ptes []*PTE, readOnly []bool) {
+	for i, pte := range ptes {
+		if readOnly != nil && i < len(readOnly) && readOnly[i] {
+			continue
+		}
+		pte.ToCopy2Swap = true
+	}
+}
+
+// SwapOut performs the swap row of Table 1 on one entry: spill the
+// device-newer data to swap if needed, then free the device memory.
+// After SwapOut the entry is in the "data only on host" state and can
+// be made resident on any device.
+func (m *Manager) SwapOut(pte *PTE, ops DeviceOps) error {
+	if !pte.IsAllocated {
+		return nil
+	}
+	if pte.ToCopy2Swap {
+		if err := m.syncToSwap(pte, ops); err != nil {
+			return err
+		}
+		m.swapBytes.Add(int64(pte.Size))
+	}
+	if err := ops.Free(pte.Device); err != nil {
+		return err
+	}
+	pte.IsAllocated = false
+	pte.Device = 0
+	pte.ToCopy2Dev = true
+	m.swapOps.Add(1)
+	return nil
+}
+
+// SwapOutAll swaps out every resident entry of a context — the
+// inter-application swap action (§4.5: "all the page table entries
+// belonging to the application that accepts the request will be
+// swapped") and the implicit checkpoint that precedes unbinding and
+// migration. It returns the number of entries swapped.
+func (m *Manager) SwapOutAll(ctxID int64, ops DeviceOps) (int, error) {
+	n := 0
+	for _, pte := range m.EntriesOf(ctxID) {
+		if !pte.IsAllocated {
+			continue
+		}
+		if err := m.SwapOut(pte, ops); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Checkpoint flushes every device-newer entry of the context to swap
+// without releasing device memory (§4.6): afterwards the page table and
+// swap area hold the full device state, so the context can be restarted
+// on another GPU at the cost of replaying only not-yet-executed work.
+func (m *Manager) Checkpoint(ctxID int64, ops DeviceOps) (int, error) {
+	n := 0
+	for _, pte := range m.EntriesOf(ctxID) {
+		if !pte.IsAllocated || !pte.ToCopy2Swap {
+			continue
+		}
+		if err := m.syncToSwap(pte, ops); err != nil {
+			return n, err
+		}
+		m.swapBytes.Add(int64(pte.Size))
+		n++
+	}
+	m.checkpoint.Add(1)
+	return n, nil
+}
+
+// InvalidateResidency drops every device mapping of a context without
+// touching the (failed or removed) device. Entries whose authoritative
+// copy was device-only are marked LostDirty; the runtime recovers them
+// by replaying kernels since the last checkpoint (§4.6). It returns the
+// number of entries that lost dirty data.
+func (m *Manager) InvalidateResidency(ctxID int64) int {
+	lost := 0
+	for _, pte := range m.EntriesOf(ctxID) {
+		if !pte.IsAllocated {
+			continue
+		}
+		if pte.ToCopy2Swap {
+			pte.LostDirty = true
+			lost++
+		}
+		pte.IsAllocated = false
+		pte.Device = 0
+		pte.ToCopy2Swap = false
+		pte.ToCopy2Dev = true
+	}
+	return lost
+}
+
+// ClearLost clears the LostDirty marks after a successful replay.
+func (m *Manager) ClearLost(ctxID int64) {
+	for _, pte := range m.EntriesOf(ctxID) {
+		pte.LostDirty = false
+	}
+}
+
+// ReleaseContext drops the whole page table and swap area of a context
+// (application exit), freeing any device memory it still holds.
+func (m *Manager) ReleaseContext(ctxID int64, ops DeviceOps) {
+	for _, pte := range m.EntriesOf(ctxID) {
+		if pte.IsAllocated && ops != nil {
+			_ = ops.Free(pte.Device)
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hostUsed -= m.usage[ctxID]
+	delete(m.tables, ctxID)
+	delete(m.usage, ctxID)
+	delete(m.next, ctxID)
+}

@@ -1,0 +1,127 @@
+package memmgr
+
+import (
+	"fmt"
+
+	"gvrt/internal/api"
+)
+
+// This file implements the state persistence behind §4.6's full-node
+// restart capability (the paper combines its runtime with BLCR; here
+// the runtime serialises its own memory-manager state instead). A
+// context image captures everything the virtual memory system knows
+// about one application thread: its page-table entries and the swap
+// copies of their data. Because the swap area plus page table *are* the
+// checkpoint, an image taken after a Checkpoint fully reconstructs the
+// context's device state on any node.
+
+// EntryImage is the serialisable form of one page-table entry.
+type EntryImage struct {
+	Virtual api.DevPtr
+	Size    uint64
+	Kind    Kind
+	// HasData distinguishes real-byte entries from synthetic ones.
+	HasData bool
+	// Data is the swap copy (nil for synthetic entries).
+	Data []byte
+	// Nested carries the registered nested-structure layout, if any.
+	NestedMembers []api.DevPtr
+	NestedOffsets []uint64
+}
+
+// ContextImage is the serialisable form of one context's memory state.
+type ContextImage struct {
+	CtxID   int64
+	NextOff uint64
+	Entries []EntryImage
+}
+
+// ExportContext captures a context's page table and swap area. Entries
+// still dirty on the device (ToCopy2Swap) cannot be captured — the
+// caller must Checkpoint or SwapOutAll first; ExportContext fails
+// loudly rather than snapshot stale data.
+func (m *Manager) ExportContext(ctxID int64) (*ContextImage, error) {
+	m.mu.Lock()
+	entries := append([]*PTE(nil), m.tables[ctxID]...)
+	next := m.next[ctxID]
+	m.mu.Unlock()
+
+	img := &ContextImage{CtxID: ctxID, NextOff: next}
+	for _, pte := range entries {
+		if pte.ToCopy2Swap {
+			return nil, fmt.Errorf("memmgr: entry %#x has device-only data; checkpoint before export", uint64(pte.Virtual))
+		}
+		e := EntryImage{
+			Virtual: pte.Virtual,
+			Size:    pte.Size,
+			Kind:    pte.Kind,
+			HasData: pte.data != nil,
+		}
+		if pte.data != nil {
+			e.Data = append([]byte(nil), pte.data...)
+		}
+		if pte.Nested != nil {
+			e.NestedMembers = append([]api.DevPtr(nil), pte.Nested.Members...)
+			e.NestedOffsets = append([]uint64(nil), pte.Nested.Offsets...)
+		}
+		img.Entries = append(img.Entries, e)
+	}
+	return img, nil
+}
+
+// ImportContext reconstructs a context's memory state from an image.
+// Every entry comes back off-device with its swap copy authoritative
+// (ToCopy2Dev set when it carries data), so the first kernel launch
+// after resume lazily restores residency — exactly the §4.6 restart
+// semantics. It fails if the context ID is already in use.
+func (m *Manager) ImportContext(img *ContextImage) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.tables[img.CtxID]) > 0 {
+		return fmt.Errorf("memmgr: context %d already present", img.CtxID)
+	}
+	var total uint64
+	for _, e := range img.Entries {
+		total += e.Size
+	}
+	if m.hostLimit > 0 && m.hostUsed+total > m.hostLimit {
+		return api.ErrSwapAllocation
+	}
+	var entries []*PTE
+	for _, e := range img.Entries {
+		pte := &PTE{
+			Virtual: e.Virtual,
+			Size:    e.Size,
+			Kind:    e.Kind,
+			ctxID:   img.CtxID,
+			// Data must return to a device before the next kernel.
+			ToCopy2Dev: true,
+		}
+		if e.HasData {
+			pte.data = append([]byte(nil), e.Data...)
+		}
+		if len(e.NestedMembers) > 0 {
+			pte.Nested = &Nested{
+				Members: append([]api.DevPtr(nil), e.NestedMembers...),
+				Offsets: append([]uint64(nil), e.NestedOffsets...),
+			}
+		}
+		entries = append(entries, pte)
+	}
+	m.tables[img.CtxID] = entries
+	m.next[img.CtxID] = img.NextOff
+	m.usage[img.CtxID] = total
+	m.hostUsed += total
+	return nil
+}
+
+// ContextIDs lists the contexts with live page tables.
+func (m *Manager) ContextIDs() []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]int64, 0, len(m.tables))
+	for id := range m.tables {
+		ids = append(ids, id)
+	}
+	return ids
+}

@@ -1,0 +1,166 @@
+// Package ptx analyses the pseudo-assembly representation of CUDA
+// kernels the way the paper's runtime does (§1): "Both pointer nesting
+// and dynamic device memory allocation can be detected by intercepting
+// and parsing the pseudo-assembly (PTX) representation of CUDA kernels
+// sent to the GPU devices."
+//
+// The analyser handles the subset of PTX relevant to those two
+// questions:
+//
+//   - dynamic device-side allocation shows up as calls to the device
+//     runtime's malloc/free entry points;
+//   - pointer nesting shows up as a dependent global load chain: a
+//     register produced by ld.global (a pointer fetched from memory)
+//     that is later used as the address of another global load or
+//     store.
+//
+// Fat binaries may carry PTX text per kernel; api.AnnotateFromPTX fills
+// KernelMeta.UsesDynamicAlloc / UsesNestedPointers from it so the
+// runtime can apply the paper's policies (exclude dynamic allocators
+// from sharing; require nested registration) without programmer input.
+package ptx
+
+import (
+	"strings"
+)
+
+// Analysis is the result of scanning one kernel's PTX.
+type Analysis struct {
+	// UsesDynamicAlloc reports device-side malloc/free calls.
+	UsesDynamicAlloc bool
+	// UsesNestedPointers reports dependent global load chains.
+	UsesNestedPointers bool
+	// Loads and Stores count global memory instructions (useful as a
+	// crude intensity signal for schedulers).
+	Loads, Stores int
+	// Calls lists the named functions the kernel calls.
+	Calls []string
+}
+
+// dynamicAllocTargets are the device-runtime entry points whose
+// presence marks dynamic device allocation.
+var dynamicAllocTargets = map[string]bool{
+	"malloc":        true,
+	"free":          true,
+	"vprintf_alloc": true,
+}
+
+// Analyze scans PTX text. It is line-oriented and tolerant: anything it
+// does not understand is skipped, so real-world PTX headers, directives
+// and unknown instructions are harmless.
+func Analyze(src string) Analysis {
+	var a Analysis
+	// Registers that hold pointer values fetched from global memory.
+	loadedPtr := map[string]bool{}
+
+	for _, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, ".") {
+			continue
+		}
+		line = strings.TrimSuffix(line, ";")
+
+		switch {
+		case strings.HasPrefix(line, "call"):
+			name := calleeName(line)
+			if name != "" {
+				a.Calls = append(a.Calls, name)
+				if dynamicAllocTargets[name] {
+					a.UsesDynamicAlloc = true
+				}
+			}
+
+		case strings.HasPrefix(line, "ld.global"):
+			a.Loads++
+			dst, addr := loadOperands(line)
+			if addr != "" && loadedPtr[addr] {
+				// Loading through a pointer that itself came from
+				// global memory: a nested traversal.
+				a.UsesNestedPointers = true
+			}
+			// A 64-bit global load may produce a pointer.
+			if dst != "" && (strings.Contains(line, ".u64") || strings.Contains(line, ".s64") || strings.Contains(line, ".b64")) {
+				loadedPtr[dst] = true
+			}
+
+		case strings.HasPrefix(line, "st.global"):
+			a.Stores++
+			_, addr := storeOperands(line)
+			if addr != "" && loadedPtr[addr] {
+				a.UsesNestedPointers = true
+			}
+
+		case strings.HasPrefix(line, "mov") || strings.HasPrefix(line, "add") ||
+			strings.HasPrefix(line, "cvta"):
+			// Pointer values propagate through moves, address
+			// arithmetic and generic-address conversion.
+			dst, src := twoOperands(line)
+			if dst != "" && src != "" && loadedPtr[src] {
+				loadedPtr[dst] = true
+			}
+		}
+	}
+	return a
+}
+
+// calleeName extracts the function name from a PTX call instruction,
+// e.g. `call.uni (retval0), malloc, (param0)` or `call func, (p)`.
+func calleeName(line string) string {
+	rest := line[strings.Index(line, "call")+len("call"):]
+	rest = strings.TrimLeft(rest, ".uni \t")
+	// Skip an optional return-value tuple.
+	if strings.HasPrefix(rest, "(") {
+		if i := strings.Index(rest, ")"); i >= 0 {
+			rest = strings.TrimLeft(rest[i+1:], ", \t")
+		}
+	}
+	// The callee runs up to the next comma or end of line.
+	if i := strings.IndexAny(rest, ",;( \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.TrimSpace(rest)
+}
+
+// loadOperands parses `ld.global.u64 %rd1, [%rd2+8]` into (dst, base).
+func loadOperands(line string) (dst, addr string) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return "", ""
+	}
+	dst = strings.TrimSuffix(fields[1], ",")
+	addr = baseRegister(fields[2])
+	return dst, addr
+}
+
+// storeOperands parses `st.global.u32 [%rd1], %r2` into (src, base).
+func storeOperands(line string) (src, addr string) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return "", ""
+	}
+	addr = baseRegister(fields[1])
+	src = strings.TrimSuffix(fields[2], ",")
+	return src, addr
+}
+
+// twoOperands parses `mov.u64 %rd1, %rd2` / `add.s64 %rd1, %rd2, 8`
+// into (dst, firstSrc).
+func twoOperands(line string) (dst, src string) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return "", ""
+	}
+	dst = strings.TrimSuffix(fields[1], ",")
+	src = strings.TrimSuffix(fields[2], ",")
+	return dst, src
+}
+
+// baseRegister strips the addressing syntax `[%rd2+8]` to `%rd2`.
+func baseRegister(tok string) string {
+	tok = strings.TrimSuffix(strings.TrimPrefix(tok, "["), "],")
+	tok = strings.TrimSuffix(tok, "]")
+	if i := strings.IndexAny(tok, "+-"); i > 0 {
+		tok = tok[:i]
+	}
+	return strings.TrimSpace(tok)
+}

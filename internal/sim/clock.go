@@ -1,0 +1,134 @@
+// Package sim provides the model-time substrate on which the whole
+// simulation runs.
+//
+// The paper's evaluation is expressed in wall-clock seconds on real
+// hardware. This reproduction keeps every duration in "model time"
+// (model seconds map 1:1 to the paper's seconds) but executes them as
+// scaled-down wall-clock sleeps, so that real goroutine concurrency —
+// queueing, overlap of CPU and GPU phases, contention on the dispatcher —
+// produces the timing behaviour, while the full evaluation suite runs in
+// seconds instead of hours.
+//
+// A Clock with Scale = 0.001 executes one model second as one wall
+// millisecond. All packages in this module take durations in model time
+// and route every delay through a Clock.
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultScale is the default wall-seconds-per-model-second factor:
+// one model second runs as one wall millisecond.
+const DefaultScale = 1e-3
+
+// Clock converts model time to scaled wall time. The zero value is not
+// usable; construct with NewClock. A Clock is safe for concurrent use.
+type Clock struct {
+	scale   float64
+	start   time.Time
+	sleeps  atomic.Int64 // number of Sleep calls, for tests/metrics
+	slept   atomic.Int64 // total model time slept, in nanoseconds
+	stopped atomic.Bool
+}
+
+// NewClock returns a Clock that executes one model second in scale wall
+// seconds. A scale <= 0 falls back to DefaultScale.
+func NewClock(scale float64) *Clock {
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	return &Clock{scale: scale, start: time.Now()}
+}
+
+// Scale reports the wall-seconds-per-model-second factor.
+func (c *Clock) Scale() float64 { return c.scale }
+
+// Now returns the model time elapsed since the clock was created.
+func (c *Clock) Now() time.Duration {
+	wall := time.Since(c.start)
+	return time.Duration(float64(wall) / c.scale)
+}
+
+// sleepFloor is the empirically observed minimum wall duration of
+// time.Sleep on coarse-timer kernels (~1.2 ms). Wall delays below
+// spinCutoff are executed as a Gosched spin, which is accurate to a few
+// microseconds even under heavy goroutine concurrency; longer delays
+// sleep for all but the last sleepFloor*2 and spin the remainder.
+const (
+	sleepFloor = 1200 * time.Microsecond
+	spinCutoff = 3 * time.Millisecond
+)
+
+// Sleep blocks for d of model time (executed as d*scale of wall time).
+// Negative or zero durations return immediately.
+//
+// The wall-clock delay is realised with a hybrid timer: the bulk via
+// time.Sleep and the tail (below the OS timer granularity) via a
+// cooperative spin, so that sub-millisecond wall delays — which carry
+// multi-millisecond model meaning at small scales — keep their ratios.
+func (c *Clock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.sleeps.Add(1)
+	c.slept.Add(int64(d))
+	sleepWall(c.wall(d))
+}
+
+// sleepWall delays for approximately w of wall time.
+func sleepWall(w time.Duration) {
+	deadline := time.Now().Add(w)
+	if w > spinCutoff {
+		time.Sleep(w - 2*sleepFloor)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// After returns a channel that receives the current model time after d
+// of model time has elapsed.
+func (c *Clock) After(d time.Duration) <-chan time.Duration {
+	ch := make(chan time.Duration, 1)
+	go func() {
+		c.Sleep(d)
+		ch <- c.Now()
+	}()
+	return ch
+}
+
+// SleepCount reports how many Sleep calls have executed. Useful for
+// asserting that a code path really paid a modeled latency.
+func (c *Clock) SleepCount() int64 { return c.sleeps.Load() }
+
+// TotalSlept reports the cumulative model time passed to Sleep.
+func (c *Clock) TotalSlept() time.Duration { return time.Duration(c.slept.Load()) }
+
+// wall converts a model duration to a wall duration.
+func (c *Clock) wall(d time.Duration) time.Duration {
+	w := time.Duration(float64(d) * c.scale)
+	if w <= 0 && d > 0 {
+		w = time.Nanosecond
+	}
+	return w
+}
+
+// Stopwatch measures elapsed model time against a Clock.
+type Stopwatch struct {
+	clock *Clock
+	begin time.Duration
+}
+
+// NewStopwatch starts a stopwatch at the clock's current model time.
+func NewStopwatch(c *Clock) *Stopwatch {
+	return &Stopwatch{clock: c, begin: c.Now()}
+}
+
+// Elapsed returns the model time since the stopwatch started.
+func (s *Stopwatch) Elapsed() time.Duration { return s.clock.Now() - s.begin }
+
+// Restart resets the stopwatch to the current model time.
+func (s *Stopwatch) Restart() { s.begin = s.clock.Now() }

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewClockDefaultScale(t *testing.T) {
+	for _, bad := range []float64{0, -1} {
+		c := NewClock(bad)
+		if c.Scale() != DefaultScale {
+			t.Errorf("NewClock(%v).Scale() = %v, want %v", bad, c.Scale(), DefaultScale)
+		}
+	}
+	c := NewClock(0.5)
+	if c.Scale() != 0.5 {
+		t.Errorf("Scale() = %v, want 0.5", c.Scale())
+	}
+}
+
+func TestClockSleepAdvancesModelTime(t *testing.T) {
+	c := NewClock(1e-4) // 1 model sec = 0.1 ms wall
+	before := c.Now()
+	c.Sleep(2 * time.Second) // 0.2 ms wall
+	after := c.Now()
+	if got := after - before; got < 2*time.Second {
+		t.Errorf("model time advanced %v during a 2s model sleep, want >= 2s", got)
+	}
+	// Wildly generous upper bound: scheduling noise at this scale can be
+	// large relative to the sleep, but not 100x.
+	if got := after - before; got > 200*time.Second {
+		t.Errorf("model time advanced %v during a 2s model sleep, want < 200s", got)
+	}
+}
+
+func TestClockSleepZeroAndNegative(t *testing.T) {
+	c := NewClock(1)
+	c.Sleep(0)
+	c.Sleep(-time.Second)
+	if n := c.SleepCount(); n != 0 {
+		t.Errorf("SleepCount() = %d after only no-op sleeps, want 0", n)
+	}
+	if s := c.TotalSlept(); s != 0 {
+		t.Errorf("TotalSlept() = %v, want 0", s)
+	}
+}
+
+func TestClockAccounting(t *testing.T) {
+	c := NewClock(1e-6)
+	c.Sleep(time.Second)
+	c.Sleep(3 * time.Second)
+	if n := c.SleepCount(); n != 2 {
+		t.Errorf("SleepCount() = %d, want 2", n)
+	}
+	if s := c.TotalSlept(); s != 4*time.Second {
+		t.Errorf("TotalSlept() = %v, want 4s", s)
+	}
+}
+
+func TestClockAfter(t *testing.T) {
+	c := NewClock(1e-6)
+	select {
+	case now := <-c.After(time.Second):
+		if now < time.Second {
+			t.Errorf("After(1s) delivered at model time %v, want >= 1s", now)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("After(1s) never fired")
+	}
+}
+
+func TestClockConcurrentSleeps(t *testing.T) {
+	c := NewClock(1e-6)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Sleep(time.Second)
+			_ = c.Now()
+		}()
+	}
+	wg.Wait()
+	if n := c.SleepCount(); n != 50 {
+		t.Errorf("SleepCount() = %d, want 50", n)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := NewClock(1e-5)
+	sw := NewStopwatch(c)
+	c.Sleep(time.Second)
+	if e := sw.Elapsed(); e < time.Second {
+		t.Errorf("Elapsed() = %v after 1s model sleep, want >= 1s", e)
+	}
+	sw.Restart()
+	if e := sw.Elapsed(); e > 30*time.Second {
+		t.Errorf("Elapsed() = %v right after Restart, want small", e)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Intn(1000), b.Intn(1000); x != y {
+			t.Fatalf("draw %d: RNGs with equal seeds diverged: %d vs %d", i, x, y)
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	for i := 0; i < 20; i++ {
+		if NewRNG(42).Intn(1<<30) != c.Intn(1<<30) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("RNGs with different seeds produced identical streams")
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	g := NewRNG(7)
+	p := g.Perm(64)
+	seen := make([]bool, 64)
+	for _, v := range p {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("Perm(64) = %v is not a permutation", p)
+		}
+		seen[v] = true
+	}
+}

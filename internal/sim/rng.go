@@ -1,0 +1,34 @@
+package sim
+
+import "math/rand"
+
+// RNG is a deterministic random source used by workload generators and
+// experiment drivers, so that (as in the paper's §5.3.1 methodology)
+// the same randomly drawn job combinations can be replayed across all
+// runtime configurations for apple-to-apple comparison.
+//
+// RNG is a thin wrapper over math/rand.Rand and is NOT safe for
+// concurrent use; give each generator its own RNG.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative uniform int64.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

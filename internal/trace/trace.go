@@ -1,0 +1,198 @@
+// Package trace records structured runtime events into a bounded ring
+// buffer, giving operators and tests visibility into the scheduling
+// decisions the paper's runtime makes invisibly: bindings, swaps,
+// migrations, failures, recoveries and offloads.
+//
+// A Recorder is cheap enough to stay enabled in production: recording
+// is one mutex acquisition and one slice write, with no allocation
+// beyond the pre-sized ring. Plug one into core.Config.Trace.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds, in rough lifecycle order.
+const (
+	// KindConnect is a new application-thread connection.
+	KindConnect Kind = iota
+	// KindBind is an application→vGPU binding.
+	KindBind
+	// KindUnbind is a voluntary vGPU release (exit or retry).
+	KindUnbind
+	// KindIntraSwap is an intra-application swap-out of one entry.
+	KindIntraSwap
+	// KindInterSwap is an inter-application swap (victim vacates).
+	KindInterSwap
+	// KindMigration is a dynamic re-binding to a faster device.
+	KindMigration
+	// KindCheckpoint is an explicit or automatic checkpoint.
+	KindCheckpoint
+	// KindFailure is a device failure.
+	KindFailure
+	// KindRecovery is a context recovery (rebind + replay).
+	KindRecovery
+	// KindOffload is a connection redirected to a peer node.
+	KindOffload
+	// KindExit is an application-thread exit.
+	KindExit
+)
+
+var kindNames = [...]string{
+	KindConnect:    "connect",
+	KindBind:       "bind",
+	KindUnbind:     "unbind",
+	KindIntraSwap:  "intra-swap",
+	KindInterSwap:  "inter-swap",
+	KindMigration:  "migration",
+	KindCheckpoint: "checkpoint",
+	KindFailure:    "failure",
+	KindRecovery:   "recovery",
+	KindOffload:    "offload",
+	KindExit:       "exit",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded runtime event.
+type Event struct {
+	// Time is the model time of the event.
+	Time time.Duration
+	// Kind classifies the event.
+	Kind Kind
+	// Ctx is the acting context's ID (0 when not applicable).
+	Ctx int64
+	// Other is the other party's context ID (swap victim, migration
+	// subject), 0 when not applicable.
+	Other int64
+	// Device is the device ordinal involved, -1 when not applicable.
+	Device int
+	// Detail is a short human-readable annotation.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12.3fs %-10s", e.Time.Seconds(), e.Kind)
+	if e.Ctx != 0 {
+		fmt.Fprintf(&b, " ctx=%d", e.Ctx)
+	}
+	if e.Other != 0 {
+		fmt.Fprintf(&b, " other=%d", e.Other)
+	}
+	if e.Device >= 0 {
+		fmt.Fprintf(&b, " dev=%d", e.Device)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " %s", e.Detail)
+	}
+	return b.String()
+}
+
+// Recorder is a bounded ring buffer of events, safe for concurrent use.
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	count uint64
+	full  bool
+}
+
+// NewRecorder creates a recorder keeping the most recent capacity
+// events (minimum 16).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Recorder{ring: make([]Event, capacity)}
+}
+
+// Record appends an event, evicting the oldest when full.
+func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	r.ring[r.next] = e
+	r.next++
+	r.count++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len reports how many events are currently retained.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.ring)
+	}
+	return r.next
+}
+
+// Total reports how many events were ever recorded (including evicted).
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Snapshot returns the retained events in recording order.
+func (r *Recorder) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.ring[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Filter returns the retained events of the given kinds, in order.
+func (r *Recorder) Filter(kinds ...Kind) []Event {
+	want := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []Event
+	for _, e := range r.Snapshot() {
+		if want[e.Kind] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountByKind tallies retained events per kind.
+func (r *Recorder) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range r.Snapshot() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Dump renders the retained events, one per line.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Snapshot() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"gvrt/internal/api"
+)
+
+// tcpConn is the client side of a TCP connection, carrying gob-encoded
+// envelopes. Calls are serialised by a mutex: a connection belongs to a
+// single application thread and carries one call at a time.
+type tcpConn struct {
+	mu   sync.Mutex
+	c    net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	seq  uint64
+	dead bool
+}
+
+// Dial connects to a runtime daemon at addr (host:port).
+func Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewClientConn(c), nil
+}
+
+// NewClientConn wraps an established net.Conn as the client side of a
+// connection.
+func NewClientConn(c net.Conn) Conn {
+	return &tcpConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (t *tcpConn) Call(call api.Call) (api.Reply, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dead {
+		return api.Reply{}, ErrClosed
+	}
+	t.seq++
+	if err := t.enc.Encode(&api.Envelope{Seq: t.seq, Call: call}); err != nil {
+		t.dead = true
+		return api.Reply{}, fmt.Errorf("transport: send: %w", err)
+	}
+	var re api.ReplyEnvelope
+	if err := t.dec.Decode(&re); err != nil {
+		t.dead = true
+		return api.Reply{}, fmt.Errorf("transport: recv: %w", err)
+	}
+	if re.Seq != t.seq {
+		t.dead = true
+		return api.Reply{}, fmt.Errorf("transport: reply sequence %d for call %d", re.Seq, t.seq)
+	}
+	return re.Reply, nil
+}
+
+func (t *tcpConn) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dead = true
+	return t.c.Close()
+}
+
+// tcpServerConn is the daemon side of a TCP connection.
+type tcpServerConn struct {
+	c       net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	lastSeq uint64
+}
+
+// NewServerConn wraps an accepted net.Conn as the runtime side of a
+// connection.
+func NewServerConn(c net.Conn) ServerConn {
+	return &tcpServerConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (t *tcpServerConn) Recv() (api.Call, error) {
+	var env api.Envelope
+	if err := t.dec.Decode(&env); err != nil {
+		return nil, ErrClosed
+	}
+	t.lastSeq = env.Seq
+	return env.Call, nil
+}
+
+func (t *tcpServerConn) Reply(r api.Reply) error {
+	if err := t.enc.Encode(&api.ReplyEnvelope{Seq: t.lastSeq, Reply: r}); err != nil {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (t *tcpServerConn) Close() error { return t.c.Close() }
+
+// Listener accepts runtime connections over TCP.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen starts accepting connections on addr (host:port; use ":0" for
+// an ephemeral port).
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the listener's address, e.g. to advertise an ephemeral
+// port.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept blocks for the next incoming connection.
+func (l *Listener) Accept() (ServerConn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewServerConn(c), nil
+}
+
+// Close stops the listener; a blocked Accept returns an error.
+func (l *Listener) Close() error { return l.l.Close() }

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"gvrt/internal/sim"
+)
+
+// BatchResult aggregates one concurrent batch run: the paper's primary
+// metric is Total (the time elapsed between the first job starting and
+// the last finishing, §5), with Avg reported for the cluster
+// experiments (Figures 10 and 11).
+type BatchResult struct {
+	// Total is the batch makespan in model time.
+	Total time.Duration
+	// Avg is the mean per-job completion time.
+	Avg time.Duration
+	// JobTimes holds each job's completion time, in submission order.
+	JobTimes []time.Duration
+	// Errors holds each job's error (nil on success), in submission
+	// order.
+	Errors []error
+}
+
+// Failed reports how many jobs errored.
+func (r BatchResult) Failed() int {
+	n := 0
+	for _, err := range r.Errors {
+		if err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Max returns the slowest job's completion time.
+func (r BatchResult) Max() time.Duration {
+	var m time.Duration
+	for _, d := range r.JobTimes {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile job time (p in [0,100]).
+func (r BatchResult) Percentile(p float64) time.Duration {
+	if len(r.JobTimes) == 0 {
+		return 0
+	}
+	ts := append([]time.Duration(nil), r.JobTimes...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	idx := int(p / 100 * float64(len(ts)-1))
+	return ts[idx]
+}
+
+// Connector opens the CUDA client a job will run against; it receives
+// the job's index in the batch (cluster schedulers use it for
+// round-robin node assignment, the bare baseline for device placement).
+type Connector func(job int) (CUDA, error)
+
+// RunBatch launches all jobs concurrently (the paper's batches arrive
+// together) and waits for completion, measuring per-job and batch
+// model times.
+func RunBatch(clock *sim.Clock, apps []App, connect Connector) BatchResult {
+	res := BatchResult{
+		JobTimes: make([]time.Duration, len(apps)),
+		Errors:   make([]error, len(apps)),
+	}
+	start := clock.Now()
+	var wg sync.WaitGroup
+	for i := range apps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			jobStart := clock.Now()
+			c, err := connect(i)
+			if err != nil {
+				res.Errors[i] = err
+				res.JobTimes[i] = clock.Now() - jobStart
+				return
+			}
+			err = Run(clock, c, apps[i])
+			if cerr := c.Close(); err == nil && cerr != nil {
+				err = cerr
+			}
+			res.Errors[i] = err
+			res.JobTimes[i] = clock.Now() - jobStart
+		}(i)
+	}
+	wg.Wait()
+	res.Total = clock.Now() - start
+	var sum time.Duration
+	for _, d := range res.JobTimes {
+		sum += d
+	}
+	if len(res.JobTimes) > 0 {
+		res.Avg = sum / time.Duration(len(res.JobTimes))
+	}
+	return res
+}

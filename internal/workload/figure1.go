@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"time"
+
+	"gvrt/internal/api"
+)
+
+// Figure1Apps builds the two applications of the paper's Figure 1 —
+// the motivating example for dynamic binding and GPU virtual memory.
+//
+// app₁: m, c_HD, k11, k12, k13, c_DH, f — three kernels with *no*
+// explicit data transfers between them (the runtime must insert any
+// transfers needed when unbinding/rebinding), separated by CPU phases.
+//
+// app₂: m, c_HD, k21, k22, c_DH, k23, c_DH, f — a data transfer between
+// k22 and k23 is already part of the application.
+//
+// Each app's footprint is bufBytes; choose it so one app fits the
+// device but two together do not, and the two applications can
+// effectively time-share a GPU: one computes while the other runs a
+// CPU phase, with the memory manager swapping their data in and out.
+func Figure1Apps(bufBytes uint64) (App, App) {
+	const (
+		kernel = 2 * time.Second
+		cpu    = 2500 * time.Millisecond
+	)
+	bin1 := api.FatBinary{ID: "fig1/app1", Kernels: []api.KernelMeta{
+		{Name: "k11", BaseTime: kernel},
+		{Name: "k12", BaseTime: kernel},
+		{Name: "k13", BaseTime: kernel},
+	}}
+	app1 := App{Name: "fig1-app1", Binary: bin1, MemBytes: bufBytes, KernelCalls: 3, LongRunning: true}
+	app1.Ops = []Op{
+		MallocOp{0, bufBytes},
+		CopyHDOp{0, bufBytes},
+		CPUPhase{cpu / 2},
+		KernelOp{Name: "k11", Bufs: []int{0}},
+		CPUPhase{cpu},
+		KernelOp{Name: "k12", Bufs: []int{0}},
+		CPUPhase{cpu},
+		KernelOp{Name: "k13", Bufs: []int{0}},
+		CopyDHOp{0, bufBytes},
+		FreeOp{0},
+	}
+
+	bin2 := api.FatBinary{ID: "fig1/app2", Kernels: []api.KernelMeta{
+		{Name: "k21", BaseTime: kernel},
+		{Name: "k22", BaseTime: kernel},
+		{Name: "k23", BaseTime: kernel},
+	}}
+	app2 := App{Name: "fig1-app2", Binary: bin2, MemBytes: bufBytes, KernelCalls: 3, LongRunning: true}
+	app2.Ops = []Op{
+		MallocOp{0, bufBytes},
+		CopyHDOp{0, bufBytes},
+		CPUPhase{cpu},
+		KernelOp{Name: "k21", Bufs: []int{0}},
+		CPUPhase{cpu},
+		KernelOp{Name: "k22", Bufs: []int{0}},
+		CopyDHOp{0, bufBytes}, // the explicit transfer between k22 and k23
+		CPUPhase{cpu},
+		KernelOp{Name: "k23", Bufs: []int{0}},
+		CopyDHOp{0, bufBytes},
+		FreeOp{0},
+	}
+	return app1, app2
+}

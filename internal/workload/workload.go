@@ -1,0 +1,236 @@
+// Package workload models the benchmark applications of the paper's
+// evaluation (Table 2): each is a timed trace of CUDA calls — device
+// allocations, host↔device transfers, kernel launches and CPU phases —
+// with memory footprints, kernel-call counts and durations calibrated
+// to §5.2 (short-running jobs take 3–5 model seconds on a Tesla C2050,
+// long-running ones 30–90 s depending on the injected CPU fraction).
+//
+// The traces are synthetic in their *data* (transfers carry sizes, not
+// bytes, so modeling multi-gigabyte footprints costs nothing) but real
+// in their *structure*: the interleaving of phases is what the paper's
+// runtime exploits, and it is reproduced per application.
+//
+// Back-to-back kernel sequences with no intervening CPU phase are
+// compressed with LaunchCall.Repeat (see api): Table 2 kernel-call
+// counts are preserved exactly while the number of timed simulation
+// steps stays manageable.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"gvrt/internal/api"
+	"gvrt/internal/sim"
+)
+
+// Op is one step of an application trace.
+type Op interface{ op() }
+
+// CPUPhase is host-side work of the given model duration.
+type CPUPhase struct{ D time.Duration }
+
+// MallocOp allocates logical buffer Buf.
+type MallocOp struct {
+	Buf  int
+	Size uint64
+}
+
+// FreeOp releases logical buffer Buf.
+type FreeOp struct{ Buf int }
+
+// CopyHDOp transfers Size bytes host→device into buffer Buf
+// (synthetic payload).
+type CopyHDOp struct {
+	Buf  int
+	Size uint64
+}
+
+// CopyDHOp transfers Size bytes device→host from buffer Buf.
+type CopyDHOp struct {
+	Buf  int
+	Size uint64
+}
+
+// KernelOp launches kernel Name Repeat times back to back, reading and
+// writing the listed buffers.
+type KernelOp struct {
+	Name   string
+	Bufs   []int
+	Repeat int
+	// ReadOnly optionally marks Bufs entries the kernel only reads.
+	ReadOnly []bool
+}
+
+// CheckpointOp asks the runtime for an explicit checkpoint.
+type CheckpointOp struct{}
+
+func (CPUPhase) op()     {}
+func (MallocOp) op()     {}
+func (FreeOp) op()       {}
+func (CopyHDOp) op()     {}
+func (CopyDHOp) op()     {}
+func (KernelOp) op()     {}
+func (CheckpointOp) op() {}
+
+// App is one benchmark application instance.
+type App struct {
+	// Name is the Table 2 program name (e.g. "BFS", "MM-L").
+	Name string
+	// Binary carries the app's kernels and their reference durations.
+	Binary api.FatBinary
+	// Ops is the call trace.
+	Ops []Op
+	// MemBytes is the application's peak device-memory footprint.
+	MemBytes uint64
+	// KernelCalls is the total number of kernel launches (Table 2,
+	// third column).
+	KernelCalls int
+	// LongRunning marks the §5.2 long-running category.
+	LongRunning bool
+}
+
+// Validate checks internal consistency: every buffer is allocated
+// before use, kernel names exist in the binary, and the kernel-call
+// count matches the trace.
+func (a *App) Validate() error {
+	alive := map[int]uint64{}
+	calls := 0
+	for i, op := range a.Ops {
+		switch o := op.(type) {
+		case MallocOp:
+			alive[o.Buf] = o.Size
+		case FreeOp:
+			if _, ok := alive[o.Buf]; !ok {
+				return fmt.Errorf("%s: op %d frees unallocated buffer %d", a.Name, i, o.Buf)
+			}
+			delete(alive, o.Buf)
+		case CopyHDOp:
+			if alive[o.Buf] < o.Size {
+				return fmt.Errorf("%s: op %d copies %d bytes into buffer %d of %d bytes", a.Name, i, o.Size, o.Buf, alive[o.Buf])
+			}
+		case CopyDHOp:
+			if alive[o.Buf] < o.Size {
+				return fmt.Errorf("%s: op %d copies %d bytes out of buffer %d of %d bytes", a.Name, i, o.Size, o.Buf, alive[o.Buf])
+			}
+		case KernelOp:
+			if _, err := a.Binary.FindKernel(o.Name); err != nil {
+				return fmt.Errorf("%s: op %d: %w", a.Name, i, err)
+			}
+			for _, b := range o.Bufs {
+				if _, ok := alive[b]; !ok {
+					return fmt.Errorf("%s: op %d launches over unallocated buffer %d", a.Name, i, b)
+				}
+			}
+			r := o.Repeat
+			if r < 1 {
+				r = 1
+			}
+			calls += r
+		}
+	}
+	if calls != a.KernelCalls {
+		return fmt.Errorf("%s: trace has %d kernel calls, metadata says %d", a.Name, calls, a.KernelCalls)
+	}
+	return nil
+}
+
+// GPUTime returns the app's total modeled kernel time on the reference
+// device (useful for calibration tests and SJF estimates).
+func (a *App) GPUTime() time.Duration {
+	var sum time.Duration
+	for _, op := range a.Ops {
+		if k, ok := op.(KernelOp); ok {
+			meta, err := a.Binary.FindKernel(k.Name)
+			if err != nil {
+				continue
+			}
+			r := k.Repeat
+			if r < 1 {
+				r = 1
+			}
+			sum += meta.BaseTime * time.Duration(r)
+		}
+	}
+	return sum
+}
+
+// CPUTime returns the app's total modeled CPU-phase time.
+func (a *App) CPUTime() time.Duration {
+	var sum time.Duration
+	for _, op := range a.Ops {
+		if c, ok := op.(CPUPhase); ok {
+			sum += c.D
+		}
+	}
+	return sum
+}
+
+// CUDA is the slice of the CUDA API an application trace needs. Both
+// the gvrt frontend client and the bare-runtime adapter satisfy it.
+type CUDA interface {
+	RegisterFatBinary(fb api.FatBinary) error
+	Malloc(size uint64) (api.DevPtr, error)
+	Free(p api.DevPtr) error
+	MemcpyHDSynthetic(dst api.DevPtr, size uint64) error
+	MemcpyDH(src api.DevPtr, size uint64) ([]byte, error)
+	Launch(call api.LaunchCall) error
+	Checkpoint() error
+	Close() error
+}
+
+// Run drives an application trace to completion against a CUDA client.
+// CPU phases elapse on the caller's goroutine (they belong to the
+// application, not the runtime). It returns the first error.
+func Run(clock *sim.Clock, c CUDA, app App) error {
+	if err := c.RegisterFatBinary(app.Binary); err != nil {
+		return fmt.Errorf("%s: register: %w", app.Name, err)
+	}
+	bufs := make(map[int]api.DevPtr)
+	for i, op := range app.Ops {
+		switch o := op.(type) {
+		case CPUPhase:
+			clock.Sleep(o.D)
+		case MallocOp:
+			p, err := c.Malloc(o.Size)
+			if err != nil {
+				return fmt.Errorf("%s: op %d malloc: %w", app.Name, i, err)
+			}
+			bufs[o.Buf] = p
+		case FreeOp:
+			if err := c.Free(bufs[o.Buf]); err != nil {
+				return fmt.Errorf("%s: op %d free: %w", app.Name, i, err)
+			}
+			delete(bufs, o.Buf)
+		case CopyHDOp:
+			if err := c.MemcpyHDSynthetic(bufs[o.Buf], o.Size); err != nil {
+				return fmt.Errorf("%s: op %d copyHD: %w", app.Name, i, err)
+			}
+		case CopyDHOp:
+			if _, err := c.MemcpyDH(bufs[o.Buf], o.Size); err != nil {
+				return fmt.Errorf("%s: op %d copyDH: %w", app.Name, i, err)
+			}
+		case KernelOp:
+			ptrs := make([]api.DevPtr, len(o.Bufs))
+			for j, b := range o.Bufs {
+				ptrs[j] = bufs[b]
+			}
+			call := api.LaunchCall{
+				Kernel:   o.Name,
+				Grid:     api.Dim3{X: 256},
+				Block:    api.Dim3{X: 256},
+				PtrArgs:  ptrs,
+				Repeat:   o.Repeat,
+				ReadOnly: o.ReadOnly,
+			}
+			if err := c.Launch(call); err != nil {
+				return fmt.Errorf("%s: op %d kernel %s: %w", app.Name, i, o.Name, err)
+			}
+		case CheckpointOp:
+			if err := c.Checkpoint(); err != nil {
+				return fmt.Errorf("%s: op %d checkpoint: %w", app.Name, i, err)
+			}
+		}
+	}
+	return nil
+}
