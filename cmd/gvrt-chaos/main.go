@@ -1,0 +1,238 @@
+// Command gvrt-chaos runs a data-checked job storm against an
+// in-process gvrt runtime under a deterministic fault plan, then prints
+// the post-mortem: per-job verdicts, the fired fault schedule, the
+// trace-ring tail and the runtime's metrics. Every run is replayable
+// from its seed alone:
+//
+//	gvrt-chaos -plan storm                 # default seed
+//	gvrt-chaos -plan storm -seed 1234      # replay an exact run
+//	GVRT_CHAOS_SEED=1234 gvrt-chaos        # same, CI-style
+//	gvrt-chaos -plan memory -jobs 64       # swap-area failure plan
+//	gvrt-chaos -plan none                  # control run, no faults
+//
+// Exit status is 0 when every job completed or failed with a clean
+// resource error and no data corruption occurred; 1 otherwise (and on a
+// hang, after -timeout of wall time).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gvrt"
+)
+
+const chaosBinID = "gvrt-chaos-bin"
+
+func init() {
+	gvrt.RegisterKernelImpl(chaosBinID, "inc", func(mem gvrt.KernelMemory, scalars []uint64) error {
+		buf, err := mem.Arg(0)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < int(scalars[0]); i++ {
+			buf[i]++
+		}
+		return nil
+	})
+}
+
+// plans maps -plan names to rule sets. The storm plan mirrors the
+// TestChaos storm; the memory plan starves the swap area instead.
+func plans(seed int64) map[string]gvrt.FaultPlan {
+	return map[string]gvrt.FaultPlan{
+		"storm": {
+			Name: "storm",
+			Seed: seed,
+			Rules: []gvrt.FaultRule{
+				{Point: gvrt.FaultDeviceExec, Label: "gpu0", AtNth: 8, Action: gvrt.FaultActFailDevice},
+				{Point: gvrt.FaultDeviceExec, Label: "gpu1", AtNth: 20, Action: gvrt.FaultActFailDevice},
+				{Point: gvrt.FaultDeviceDMA, Prob: 0.05, Action: gvrt.FaultActDelay, Delay: 2 * time.Millisecond},
+				{Point: gvrt.FaultDeviceMalloc, Prob: 0.02, After: 8, MaxFires: 3, Action: gvrt.FaultActError},
+				{Point: gvrt.FaultDispatch, Prob: 0.02, Action: gvrt.FaultActDelay, Delay: time.Millisecond},
+			},
+		},
+		"memory": {
+			Name: "memory",
+			Seed: seed,
+			Rules: []gvrt.FaultRule{
+				{Point: gvrt.FaultSwapWrite, Prob: 0.1, Action: gvrt.FaultActError},
+				{Point: gvrt.FaultSwapAlloc, Prob: 0.05, Action: gvrt.FaultActError},
+				// After skips the vGPU reservation allocations made while
+				// the runtime boots, so the storm hits jobs, not startup.
+				{Point: gvrt.FaultDeviceMalloc, Prob: 0.05, After: 8, Action: gvrt.FaultActError},
+			},
+		},
+		"none": {Name: "none", Seed: seed},
+	}
+}
+
+func main() {
+	var (
+		jobs     = flag.Int("jobs", 32, "concurrent jobs in the storm")
+		kernels  = flag.Int("kernels", 6, "kernel launches per job")
+		devices  = flag.Int("devices", 3, "simulated GPUs")
+		vgpus    = flag.Int("vgpus", 2, "virtual GPUs per device")
+		seed     = flag.Int64("seed", defaultSeed(), "fault-plan and workload seed (or set GVRT_CHAOS_SEED)")
+		planName = flag.String("plan", "storm", "fault plan: storm | memory | none")
+		scale    = flag.Float64("scale", 1e-7, "wall seconds per model second")
+		traceN   = flag.Int("trace", 24, "trace-ring events to print in the post-mortem")
+		timeout  = flag.Duration("timeout", 60*time.Second, "wall-time watchdog before declaring a hang")
+	)
+	flag.Parse()
+
+	plan, ok := plans(*seed)[*planName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gvrt-chaos: unknown plan %q (storm | memory | none)\n", *planName)
+		os.Exit(2)
+	}
+	plane := gvrt.NewFaultPlane(plan)
+	rec := gvrt.NewTraceRecorder(4096)
+
+	clock := gvrt.NewClock(*scale)
+	spec := gvrt.DeviceSpec{Name: "chaos-gpu", SMs: 4, CoresPerSM: 8, ClockMHz: 1000,
+		MemBytes: 1 << 20, Speed: 1, BandwidthBps: 1 << 40}
+	devs := make([]*gvrt.Device, *devices)
+	for i := range devs {
+		devs[i] = gvrt.NewDevice(i, spec, clock)
+	}
+	crt := gvrt.NewCUDARuntime(clock, devs...)
+	// Tiny 1 MiB devices keep the storm under memory pressure; shrink the
+	// per-context reservation accordingly, before the runtime carves vGPUs.
+	crt.SetLimits(1024, 0, 0)
+	rt, err := gvrt.NewRuntime(crt, gvrt.Config{
+		VGPUsPerDevice: *vgpus,
+		CallOverhead:   -1,
+		BindBackoff:    time.Millisecond,
+		AutoCheckpoint: 5 * time.Millisecond,
+		Trace:          rec,
+		Faults:         plane,
+	})
+	if err != nil {
+		// A plan can legitimately kill the runtime at boot (e.g. a
+		// device-malloc denial hitting a vGPU reservation); keep the run
+		// reproducible by reporting the plan and seed even here.
+		fmt.Fprintf(os.Stderr, "gvrt-chaos: runtime boot failed under plan %q seed %d: %v\n%s",
+			plan.Name, *seed, err, plane)
+		os.Exit(1)
+	}
+	node := &gvrt.LocalNode{ClockV: clock, CRT: crt, RT: rt}
+	defer node.Close()
+
+	var completed, failedClean, failedDirty atomic.Int64
+	rng := gvrt.NewRNG(*seed)
+	var wg sync.WaitGroup
+	for j := 0; j < *jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			if err := runJob(node, rng.Fork(fmt.Sprintf("job%d", j)), j, *kernels); err != nil {
+				if cleanResourceError(err) {
+					failedClean.Add(1)
+				} else {
+					failedDirty.Add(1)
+					fmt.Fprintf(os.Stderr, "job %d: UNCLEAN: %v\n", j, err)
+				}
+				return
+			}
+			completed.Add(1)
+		}(j)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	hung := false
+	select {
+	case <-done:
+	case <-time.After(*timeout):
+		hung = true
+	}
+
+	fmt.Printf("=== gvrt-chaos: plan %q seed %d ===\n", plan.Name, *seed)
+	fmt.Printf("jobs: %d completed, %d failed clean, %d failed UNCLEAN, hung=%v\n",
+		completed.Load(), failedClean.Load(), failedDirty.Load(), hung)
+	fmt.Printf("\n--- fired fault schedule ---\n%s", plane)
+	m := node.RT.Metrics()
+	fmt.Printf("\n--- runtime metrics ---\n")
+	fmt.Printf("calls=%d binds=%d swaps=%d/%d migrations=%d failures=%d recoveries=%d replays=%d\n",
+		m.CallsServed, m.Binds, m.InterAppSwaps, m.IntraAppSwaps,
+		m.Migrations, m.DeviceFailures, m.Recoveries, m.Replays)
+	events := rec.Snapshot()
+	if n := len(events); n > *traceN {
+		events = events[n-*traceN:]
+	}
+	fmt.Printf("\n--- trace ring (last %d events) ---\n", len(events))
+	for _, e := range events {
+		fmt.Printf("  %s\n", e)
+	}
+	fmt.Printf("\nreproduce this exact run: gvrt-chaos -plan %s -seed %d (or GVRT_CHAOS_SEED=%d)\n",
+		plan.Name, *seed, *seed)
+
+	if hung || failedDirty.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// defaultSeed reads GVRT_CHAOS_SEED, falling back to 1.
+func defaultSeed() int64 {
+	if s := os.Getenv("GVRT_CHAOS_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return 1
+}
+
+// runJob pushes 4 data-checked bytes plus a randomized pressure
+// allocation through kernels increments, verifying the result.
+func runJob(node *gvrt.LocalNode, rng *gvrt.RNG, j, kernels int) error {
+	c := node.OpenClient()
+	defer c.Close()
+	if err := c.RegisterFatBinary(gvrt.FatBinary{
+		ID:      chaosBinID,
+		Kernels: []gvrt.KernelMeta{{Name: "inc", BaseTime: time.Millisecond}},
+	}); err != nil {
+		return err
+	}
+	p, err := c.Malloc(uint64(32+rng.Intn(64)) << 10)
+	if err != nil {
+		return err
+	}
+	seed := byte(j)
+	if err := c.MemcpyHD(p, []byte{seed, seed, seed, seed}); err != nil {
+		return err
+	}
+	for k := 0; k < kernels; k++ {
+		if err := c.Launch(gvrt.LaunchCall{Kernel: "inc", PtrArgs: []gvrt.DevPtr{p}, Scalars: []uint64{4}}); err != nil {
+			return err
+		}
+	}
+	out, err := c.MemcpyDH(p, 4)
+	if err != nil {
+		return err
+	}
+	want := seed + byte(kernels)
+	for i := 0; i < 4; i++ {
+		if out[i] != want {
+			return fmt.Errorf("data corruption: byte %d = %d, want %d", i, out[i], want)
+		}
+	}
+	return nil
+}
+
+// cleanResourceError reports whether err is an acceptable way for a job
+// to die under chaos: a resource exhausted or torn down, never an
+// internal inconsistency.
+func cleanResourceError(err error) bool {
+	switch gvrt.ErrorCode(err) {
+	case gvrt.ErrMemoryAllocation, gvrt.ErrNoDevice, gvrt.ErrDeviceUnavailable,
+		gvrt.ErrSwapAllocation, gvrt.ErrConnectionClosed:
+		return true
+	}
+	return false
+}

@@ -45,6 +45,7 @@ import (
 	"gvrt/internal/cluster"
 	"gvrt/internal/core"
 	"gvrt/internal/cudart"
+	"gvrt/internal/faultinject"
 	"gvrt/internal/frontend"
 	"gvrt/internal/gpu"
 	"gvrt/internal/memmgr"
@@ -181,6 +182,48 @@ const (
 // capacity events.
 func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
 
+// Fault-injection types: arm Config.Faults with a FaultPlane built from
+// a seeded FaultPlan and the runtime injects deterministic, replayable
+// faults at every layer (devices, swap area, dispatcher, cluster
+// links). See cmd/gvrt-chaos and EXPERIMENTS.md for the workflow.
+type (
+	// FaultPlane is an armed FaultPlan the runtime layers consult.
+	FaultPlane = faultinject.Plane
+	// FaultPlan is a named, seeded set of fault rules.
+	FaultPlan = faultinject.Plan
+	// FaultRule arms one fault at one injection point.
+	FaultRule = faultinject.Rule
+	// FaultPoint names a class of injection sites.
+	FaultPoint = faultinject.Point
+	// FaultFired is one entry of a plane's fired-fault schedule.
+	FaultFired = faultinject.Fired
+)
+
+// Fault injection points.
+const (
+	FaultTransportCall = faultinject.PointTransportCall
+	FaultClusterLink   = faultinject.PointClusterLink
+	FaultDeviceExec    = faultinject.PointDeviceExec
+	FaultDeviceDMA     = faultinject.PointDeviceDMA
+	FaultDeviceMalloc  = faultinject.PointDeviceMalloc
+	FaultSwapWrite     = faultinject.PointSwapWrite
+	FaultSwapAlloc     = faultinject.PointSwapAlloc
+	FaultDispatch      = faultinject.PointDispatch
+)
+
+// Fault actions.
+const (
+	FaultActError      = faultinject.ActError
+	FaultActDelay      = faultinject.ActDelay
+	FaultActCorrupt    = faultinject.ActCorrupt
+	FaultActDrop       = faultinject.ActDrop
+	FaultActFailDevice = faultinject.ActFailDevice
+	FaultActPartition  = faultinject.ActPartition
+)
+
+// NewFaultPlane arms a fault plan.
+func NewFaultPlane(plan FaultPlan) *FaultPlane { return faultinject.New(plan) }
+
 // Device models from the paper's testbed (§5.1).
 var (
 	TeslaC2050 = gpu.TeslaC2050
@@ -193,10 +236,19 @@ const (
 	Success                 = api.Success
 	ErrMemoryAllocation     = api.ErrMemoryAllocation
 	ErrInvalidDevicePointer = api.ErrInvalidDevicePointer
+	ErrLaunchFailure        = api.ErrLaunchFailure
+	ErrNoDevice             = api.ErrNoDevice
 	ErrDeviceUnavailable    = api.ErrDeviceUnavailable
 	ErrTooManyContexts      = api.ErrTooManyContexts
 	ErrRuntimeUnstable      = api.ErrRuntimeUnstable
+	ErrSwapAllocation       = api.ErrSwapAllocation
+	ErrConnectionClosed     = api.ErrConnectionClosed
 )
+
+// ErrorCode extracts the result code from an error returned by the
+// runtime or a Client: nil maps to Success, an Error anywhere in the
+// wrap chain to itself, anything else to ErrLaunchFailure.
+func ErrorCode(err error) Error { return api.Code(err) }
 
 // NewClock returns a model clock executing one model second in scale
 // wall seconds (0 or negative selects the 1 ms default).

@@ -8,7 +8,10 @@
 // serve the in-process transport and the TCP transport.
 package api
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Error is a CUDA-style result code. The zero value is Success.
 // Errors returned by the simulated CUDA runtime and by the gvrt runtime
@@ -104,14 +107,15 @@ func (e Error) Err() error {
 }
 
 // Code extracts the result code from an error produced by this module:
-// nil maps to Success, an api.Error maps to itself, anything else to
-// ErrLaunchFailure (the catch-all the CUDA runtime uses for unexpected
-// internal failures).
+// nil maps to Success, an api.Error anywhere in the wrap chain maps to
+// itself, anything else to ErrLaunchFailure (the catch-all the CUDA
+// runtime uses for unexpected internal failures).
 func Code(err error) Error {
 	if err == nil {
 		return Success
 	}
-	if e, ok := err.(Error); ok {
+	var e Error
+	if errors.As(err, &e) {
 		return e
 	}
 	return ErrLaunchFailure

@@ -21,6 +21,7 @@ import (
 
 	"gvrt/internal/core"
 	"gvrt/internal/cudart"
+	"gvrt/internal/faultinject"
 	"gvrt/internal/frontend"
 	"gvrt/internal/gpu"
 	"gvrt/internal/sim"
@@ -34,6 +35,14 @@ type Node struct {
 	Name string
 	CRT  *cudart.Runtime
 	RT   *core.Runtime
+
+	clock *sim.Clock
+	// link is the fault plane's hook for this node's outbound peer
+	// connection (PointClusterLink, labeled with the node name); nil
+	// without a matching plan. A sticky partition makes dialPeer fail —
+	// so new offloads fall back to local service — and tears down
+	// in-flight proxied calls with a connection error.
+	link *faultinject.Hook
 
 	mu   sync.Mutex
 	peer *Node
@@ -49,7 +58,8 @@ func NewNode(name string, clock *sim.Clock, specs []gpu.Spec, cfg core.Config) (
 		devs[i] = gpu.NewDevice(i, s, clock)
 	}
 	crt := cudart.New(clock, devs...)
-	n := &Node{Name: name, CRT: crt}
+	n := &Node{Name: name, CRT: crt, clock: clock}
+	n.link = cfg.Faults.Hook(faultinject.PointClusterLink, name)
 	if cfg.PeerDial == nil {
 		cfg.PeerDial = n.dialPeer
 	}
@@ -78,6 +88,15 @@ func (n *Node) dialPeer() (transport.Conn, error) {
 	if peer == nil {
 		return nil, fmt.Errorf("cluster: node %s has no offload peer", n.Name)
 	}
+	// The dial itself is one use of the link: a partitioned (or
+	// fault-failed) link refuses new offload connections, which makes
+	// the connection manager fall back to serving locally.
+	if dec := n.link.Check(); dec.Drop || dec.Err != nil {
+		if dec.Err != nil {
+			return nil, fmt.Errorf("cluster: node %s peer link: %w", n.Name, dec.Err)
+		}
+		return nil, fmt.Errorf("cluster: node %s peer link partitioned", n.Name)
+	}
 	c, s := transport.Pipe()
 	peer.wg.Add(1)
 	go func() {
@@ -86,7 +105,10 @@ func (n *Node) dialPeer() (transport.Conn, error) {
 		// re-offloaded: the paper's offloading is one hop).
 		peer.RT.Serve(s)
 	}()
-	return c, nil
+	// Every proxied call re-consults the link, so a partition that
+	// fires mid-offload drops the established connection too; the proxy
+	// surfaces that as a clean ErrConnectionClosed to the application.
+	return transport.WithFaults(c, n.link, n.clock.Sleep), nil
 }
 
 // Connect opens a gvrt client connection to this node, routed through

@@ -113,6 +113,13 @@ func (rt *Runtime) ServeLabeled(sc transport.ServerConn, label string) {
 		// Framework overhead: interception, queuing, scheduling (§5:
 		// "all the overheads introduced by our framework").
 		rt.clock.Sleep(rt.cfg.overhead())
+		if h := rt.dispatchHook; h != nil {
+			// Injected scheduler stall: the call sits in the dispatcher
+			// for extra model time before being served.
+			if dec := h.Check(); dec.Delay > 0 {
+				rt.clock.Sleep(dec.Delay)
+			}
+		}
 		rt.calls.Add(1)
 
 		reply := func() api.Reply {

@@ -68,6 +68,11 @@ func (rt *Runtime) HandleConn(sc transport.ServerConn) {
 func (rt *Runtime) proxy(sc transport.ServerConn, peer transport.Conn) {
 	defer func() {
 		_ = peer.Close()
+		// Close the application side too: once the proxy stops pumping,
+		// a call left (or arriving) on sc would block forever against a
+		// connection nobody reads. Closing it turns that into the clean
+		// connection error the frontend already folds.
+		_ = sc.Close()
 	}()
 	for {
 		call, err := sc.Recv()

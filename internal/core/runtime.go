@@ -19,6 +19,7 @@ import (
 	"gvrt/internal/api"
 
 	"gvrt/internal/cudart"
+	"gvrt/internal/faultinject"
 	"gvrt/internal/gpu"
 	"gvrt/internal/memmgr"
 	"gvrt/internal/sched"
@@ -100,6 +101,11 @@ type Config struct {
 	// swaps, migrations, failures, recoveries, offloads) into a bounded
 	// ring for tests and operators.
 	Trace *trace.Recorder
+	// Faults, when set, arms the deterministic fault plane: devices, the
+	// memory manager's swap area and the dispatcher consult it at their
+	// injection points. Nil (the default) leaves every hook nil, so the
+	// hot path pays one nil check per site.
+	Faults *faultinject.Plane
 }
 
 func (c *Config) vgpus() int {
@@ -219,6 +225,10 @@ type Runtime struct {
 	mm     *memmgr.Manager
 	policy sched.Policy
 
+	// dispatchHook is the fault plane's scheduler-stall site; nil
+	// without a plan.
+	dispatchHook *faultinject.Hook
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	devs    []*deviceState
@@ -259,6 +269,8 @@ func New(crt *cudart.Runtime, cfg Config) (*Runtime, error) {
 	if rt.policy == nil {
 		rt.policy = sched.FCFS{}
 	}
+	rt.mm.InstallFaults(cfg.Faults)
+	rt.dispatchHook = cfg.Faults.Hook(faultinject.PointDispatch, "")
 	rt.cond = sync.NewCond(&rt.mu)
 	for i := 0; i < crt.DeviceCount(); i++ {
 		if err := rt.addDeviceState(i); err != nil {
@@ -309,6 +321,9 @@ func (rt *Runtime) migrationMonitor() {
 // addDeviceState creates the vGPUs for device index i.
 func (rt *Runtime) addDeviceState(i int) error {
 	ds := &deviceState{index: i, dev: rt.crt.Device(i), healthy: true}
+	// Arm the device's fault hooks here so hot-added devices (AddDevice
+	// during a chaos run) are covered the same as boot-time ones.
+	ds.dev.InstallFaults(rt.cfg.Faults)
 	for k := 0; k < rt.cfg.vgpus(); k++ {
 		cuctx, err := rt.crt.CreateContext(i)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gvrt/internal/api"
+	"gvrt/internal/faultinject"
 	"gvrt/internal/sim"
 )
 
@@ -41,6 +42,12 @@ type Device struct {
 
 	failed  atomic.Bool
 	removed atomic.Bool
+
+	// Fault-plane hooks; nil (the common case) means no plan targets
+	// this device and each site pays exactly one nil check.
+	execHook   *faultinject.Hook
+	dmaHook    *faultinject.Hook
+	mallocHook *faultinject.Hook
 
 	launches atomic.Int64
 	h2dBytes atomic.Int64
@@ -142,6 +149,32 @@ func (d *Device) MarkRemoved() { d.removed.Store(true) }
 // Removed reports whether the device was administratively removed.
 func (d *Device) Removed() bool { return d.removed.Load() }
 
+// InstallFaults arms the device's injection sites against plane. Call it
+// before the device starts serving (NewDevice has no plane parameter so
+// un-faulted construction sites stay untouched). Hooks stay nil when the
+// plane has no rule matching this device — or when plane itself is nil —
+// so each site pays exactly one nil check.
+func (d *Device) InstallFaults(p *faultinject.Plane) {
+	label := fmt.Sprintf("gpu%d", d.id)
+	d.execHook = p.Hook(faultinject.PointDeviceExec, label)
+	d.dmaHook = p.Hook(faultinject.PointDeviceDMA, label)
+	d.mallocHook = p.Hook(faultinject.PointDeviceMalloc, label)
+}
+
+// applyFault enacts a hook decision: sticky device failure first (so the
+// error the caller sees matches the device state), then a model-time
+// stall, then the decision's error. Payload corruption is enacted by the
+// DMA sites themselves.
+func (d *Device) applyFault(dec faultinject.Decision) error {
+	if dec.FailDevice {
+		d.failed.Store(true)
+	}
+	if dec.Delay > 0 {
+		d.clock.Sleep(dec.Delay)
+	}
+	return dec.Err
+}
+
 // usable returns ErrDeviceUnavailable when the device cannot serve.
 func (d *Device) usable() error {
 	if d.failed.Load() || d.removed.Load() {
@@ -156,6 +189,11 @@ func (d *Device) usable() error {
 func (d *Device) Malloc(n uint64) (api.DevPtr, error) {
 	if err := d.usable(); err != nil {
 		return 0, err
+	}
+	if h := d.mallocHook; h != nil {
+		if err := d.applyFault(h.Check()); err != nil {
+			return 0, err
+		}
 	}
 	d.clock.Sleep(MallocTime)
 	d.mu.Lock()
@@ -215,6 +253,14 @@ func (d *Device) CopyIn(dst api.DevPtr, data []byte, size uint64) error {
 	if err := d.usable(); err != nil {
 		return err
 	}
+	var corrupt bool
+	if h := d.dmaHook; h != nil {
+		dec := h.Check()
+		corrupt = dec.Corrupt
+		if err := d.applyFault(dec); err != nil {
+			return err
+		}
+	}
 	if data != nil {
 		size = uint64(len(data))
 	}
@@ -237,6 +283,10 @@ func (d *Device) CopyIn(dst api.DevPtr, data []byte, size uint64) error {
 		d.mu.Lock()
 		buf := d.backing(base, alloc)
 		copy(buf[off:], data)
+		if corrupt && size > 0 {
+			// ECC-style corruption: one flipped byte in the landed data.
+			buf[off] ^= 0xFF
+		}
 		d.mu.Unlock()
 	}
 	return nil
@@ -248,6 +298,14 @@ func (d *Device) CopyIn(dst api.DevPtr, data []byte, size uint64) error {
 func (d *Device) CopyOut(src api.DevPtr, size uint64) ([]byte, error) {
 	if err := d.usable(); err != nil {
 		return nil, err
+	}
+	var corrupt bool
+	if h := d.dmaHook; h != nil {
+		dec := h.Check()
+		corrupt = dec.Corrupt
+		if err := d.applyFault(dec); err != nil {
+			return nil, err
+		}
 	}
 	base, off, alloc, err := d.resolve(src)
 	if err != nil {
@@ -269,6 +327,9 @@ func (d *Device) CopyOut(src api.DevPtr, size uint64) ([]byte, error) {
 	if buf, ok := d.bufs[base]; ok {
 		out := make([]byte, size)
 		copy(out, buf[off:])
+		if corrupt && size > 0 {
+			out[0] ^= 0xFF
+		}
 		return out, nil
 	}
 	return nil, nil
@@ -335,6 +396,11 @@ func (d *Device) Bytes(ptr api.DevPtr) ([]byte, error) {
 func (d *Device) Exec(base time.Duration, repeat int, fn func() error) error {
 	if err := d.usable(); err != nil {
 		return err
+	}
+	if h := d.execHook; h != nil {
+		if err := d.applyFault(h.Check()); err != nil {
+			return err
+		}
 	}
 	if repeat < 1 {
 		repeat = 1

@@ -1,0 +1,110 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gvrt/internal/api"
+	"gvrt/internal/faultinject"
+)
+
+// faultedDevice builds a device armed against a plan.
+func faultedDevice(t *testing.T, rules ...faultinject.Rule) *Device {
+	t.Helper()
+	d := testDevice()
+	d.InstallFaults(faultinject.New(faultinject.Plan{Name: "device-test", Seed: 7, Rules: rules}))
+	return d
+}
+
+func TestInstallFaultsNilPlaneLeavesDeviceClean(t *testing.T) {
+	d := testDevice()
+	d.InstallFaults(nil)
+	if d.execHook != nil || d.dmaHook != nil || d.mallocHook != nil {
+		t.Fatal("nil plane armed hooks")
+	}
+	if _, err := d.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecFaultFailsDeviceStickily(t *testing.T) {
+	d := faultedDevice(t, faultinject.Rule{
+		Point: faultinject.PointDeviceExec, Label: "gpu0", AtNth: 2, Action: faultinject.ActFailDevice,
+	})
+	if err := d.Exec(time.Millisecond, 1, nil); err != nil {
+		t.Fatalf("exec 1: %v", err)
+	}
+	if err := d.Exec(time.Millisecond, 1, nil); !errors.Is(err, api.ErrDeviceUnavailable) {
+		t.Fatalf("exec 2 err = %v, want ErrDeviceUnavailable", err)
+	}
+	if !d.Failed() {
+		t.Error("device not marked failed after ActFailDevice")
+	}
+	// Sticky: the device stays dead like real hardware would.
+	if err := d.Exec(time.Millisecond, 1, nil); !errors.Is(err, api.ErrDeviceUnavailable) {
+		t.Errorf("exec 3 err = %v, want ErrDeviceUnavailable", err)
+	}
+}
+
+func TestDMACorruptionFlipsExactlyOneByte(t *testing.T) {
+	d := faultedDevice(t, faultinject.Rule{
+		Point: faultinject.PointDeviceDMA, AtNth: 2, Action: faultinject.ActCorrupt,
+	})
+	p, err := d.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{1, 2, 3, 4}
+	if err := d.CopyIn(p, data, 4); err != nil { // occurrence 1: clean
+		t.Fatal(err)
+	}
+	if err := d.CopyIn(p, data, 4); err != nil { // occurrence 2: corrupted
+		t.Fatal(err)
+	}
+	out, err := d.CopyOut(p, 4) // occurrence 3: clean
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1^0xFF {
+		t.Errorf("first byte = %#x, want ECC-style flip %#x", out[0], 1^0xFF)
+	}
+	for i := 1; i < 4; i++ {
+		if out[i] != data[i] {
+			t.Errorf("byte %d = %d, want %d (corruption must hit one byte)", i, out[i], data[i])
+		}
+	}
+}
+
+func TestSlowDMAStallsModelTime(t *testing.T) {
+	const stall = 500 * time.Millisecond // model time; test clock runs at 1e-6
+	d := faultedDevice(t, faultinject.Rule{
+		Point: faultinject.PointDeviceDMA, AtNth: 1, Action: faultinject.ActDelay, Delay: stall,
+	})
+	p, err := d.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.clock.Now()
+	if err := d.CopyIn(p, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.clock.Now() - before; got < stall {
+		t.Errorf("slow DMA advanced the clock by %v, want >= %v", got, stall)
+	}
+}
+
+func TestMallocDenialBounded(t *testing.T) {
+	d := faultedDevice(t, faultinject.Rule{
+		Point: faultinject.PointDeviceMalloc, EveryNth: 1, MaxFires: 2, Action: faultinject.ActError,
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := d.Malloc(64); !errors.Is(err, api.ErrMemoryAllocation) {
+			t.Fatalf("denied alloc %d err = %v, want ErrMemoryAllocation", i, err)
+		}
+	}
+	// MaxFires exhausted: allocations succeed again.
+	if _, err := d.Malloc(64); err != nil {
+		t.Fatalf("alloc after denial burst: %v", err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"gvrt/internal/api"
+	"gvrt/internal/faultinject"
 )
 
 // Kind distinguishes the allocation flavours of the CUDA API (the
@@ -146,6 +147,12 @@ type Manager struct {
 	next      map[int64]uint64
 	usage     map[int64]uint64
 
+	// Fault-plane hooks for the swap area; nil when no plan targets it.
+	// Faults fire before any state is mutated, so an injected failure
+	// leaves the entry in a legal Figure 4 state.
+	swapWriteHook *faultinject.Hook
+	swapAllocHook *faultinject.Hook
+
 	swapOps    atomic.Int64
 	swapBytes  atomic.Int64
 	coalesced  atomic.Int64
@@ -174,6 +181,24 @@ func New(deferTransfers bool, hostLimit uint64) *Manager {
 	}
 }
 
+// InstallFaults arms the manager's swap-area injection sites against
+// plane. Call it before the manager starts serving; a nil plane — or a
+// plan with no memmgr rules — leaves the sites nil and free.
+func (m *Manager) InstallFaults(p *faultinject.Plane) {
+	m.swapWriteHook = p.Hook(faultinject.PointSwapWrite, "")
+	m.swapAllocHook = p.Hook(faultinject.PointSwapAlloc, "")
+}
+
+// swapWriteFault consults the swap-write hook; a non-nil return aborts
+// the write before any entry state changed. The manager has no clock,
+// so delay decisions are ignored here.
+func (m *Manager) swapWriteFault() error {
+	if h := m.swapWriteHook; h != nil {
+		return h.Check().Err
+	}
+	return nil
+}
+
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
@@ -196,6 +221,11 @@ func (m *Manager) Malloc(ctxID int64, size uint64, kind Kind) (api.DevPtr, error
 	if size == 0 {
 		m.badOps.Add(1)
 		return 0, api.ErrInvalidValue
+	}
+	if h := m.swapAllocHook; h != nil {
+		if err := h.Check().Err; err != nil {
+			return 0, err
+		}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -286,6 +316,9 @@ func (m *Manager) CopyHD(pte *PTE, off uint64, data []byte, size uint64, ops Dev
 		m.badOps.Add(1)
 		return api.ErrSizeMismatch
 	}
+	if err := m.swapWriteFault(); err != nil {
+		return err
+	}
 	// A partial deferred write over device-newer data must first pull
 	// the device copy down, or the eventual bulk transfer would clobber
 	// the kernel's output with stale swap bytes.
@@ -321,6 +354,9 @@ func (m *Manager) Memset(pte *PTE, off uint64, value byte, size uint64, ops Devi
 	if off+size > pte.Size {
 		m.badOps.Add(1)
 		return api.ErrInvalidValue
+	}
+	if err := m.swapWriteFault(); err != nil {
+		return err
 	}
 	if pte.ToCopy2Swap && (off != 0 || size != pte.Size) {
 		if ops == nil {
@@ -379,7 +415,12 @@ func (m *Manager) CopyDH(pte *PTE, off, size uint64, ops DeviceOps) ([]byte, err
 }
 
 // syncToSwap pulls the whole entry device→swap and clears ToCopy2Swap.
+// An injected swap-write failure aborts before anything moved: the
+// entry stays in the legal "device copy authoritative" state.
 func (m *Manager) syncToSwap(pte *PTE, ops DeviceOps) error {
+	if err := m.swapWriteFault(); err != nil {
+		return err
+	}
 	data, err := ops.MemcpyDH(pte.Device, pte.Size)
 	if err != nil {
 		return err

@@ -2,10 +2,12 @@ package memmgr
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
 	"gvrt/internal/api"
+	"gvrt/internal/faultinject"
 )
 
 // TestFlagInvariantsUnderRandomOps property-checks the Figure 4 state
@@ -170,6 +172,105 @@ func TestDataIntegrityUnderRandomSwaps(t *testing.T) {
 		return bytes.Equal(got, expect)
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFlagInvariantsUnderSwapWriteFailures replays the Figure 4
+// property check with the fault plane denying a third of all swap-area
+// writes and a tenth of all page-table allocations: injected failures
+// are tolerated (the op reports ErrSwapAllocation and moves on), but
+// after every step — failed or not — each entry must still be in a
+// legal state, with never both transfer flags set, and the fake
+// device's accounting must still match the IsAllocated flags.
+func TestFlagInvariantsUnderSwapWriteFailures(t *testing.T) {
+	legal := func(p *PTE) bool {
+		if p.ToCopy2Dev && p.ToCopy2Swap {
+			return false
+		}
+		if !p.IsAllocated && p.ToCopy2Swap {
+			return false
+		}
+		return true
+	}
+
+	var seed int64
+	check := func(ops []uint8) bool {
+		seed++
+		m := New(true, 0)
+		m.InstallFaults(faultinject.New(faultinject.Plan{
+			Name: "swap-storm",
+			Seed: seed,
+			Rules: []faultinject.Rule{
+				{Point: faultinject.PointSwapWrite, Prob: 0.3, Action: faultinject.ActError},
+				{Point: faultinject.PointSwapAlloc, Prob: 0.1, Action: faultinject.ActError},
+			},
+		}))
+		dev := newFakeOps(1 << 20)
+		var entries []*PTE
+		for _, op := range ops {
+			var err error
+			switch {
+			case op < 60 || len(entries) == 0: // malloc
+				var v api.DevPtr
+				v, err = m.Malloc(1, uint64(op)%2048+1, KindLinear)
+				if err == nil {
+					var pte *PTE
+					pte, _, err = m.Resolve(v)
+					if err != nil {
+						return false
+					}
+					entries = append(entries, pte)
+				}
+			default:
+				pte := entries[int(op)%len(entries)]
+				switch op % 5 {
+				case 0:
+					err = m.CopyHD(pte, 0, []byte{op}, 0, dev)
+				case 1:
+					err = m.MakeResident(pte, dev)
+					if err == nil {
+						m.MarkKernelEffects([]*PTE{pte}, nil)
+					}
+				case 2:
+					_, err = m.CopyDH(pte, 0, 1, dev)
+				case 3:
+					err = m.SwapOut(pte, dev)
+				case 4:
+					err = m.Memset(pte, 0, op, 1, dev)
+				}
+			}
+			// Injected faults surface as the swap-allocation code and
+			// nothing else; any other failure is a real bug.
+			if err != nil && !errors.Is(err, api.ErrSwapAllocation) {
+				return false
+			}
+			// Invariants after every step, including failed ones.
+			for _, e := range entries {
+				if !legal(e) {
+					return false
+				}
+				if e.IsAllocated && e.Device == 0 {
+					return false
+				}
+			}
+			var sum uint64
+			for _, e := range entries {
+				if e.IsAllocated {
+					n, ok := dev.sizes[e.Device]
+					if !ok || n != e.Size {
+						return false
+					}
+					sum += n
+				}
+			}
+			if sum != dev.used {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+func TestForkDeterministicPerLabel(t *testing.T) {
+	a := NewRNG(42).Fork("alpha")
+	b := NewRNG(42).Fork("alpha")
+	for i := 0; i < 100; i++ {
+		if x, y := a.Int63(), b.Int63(); x != y {
+			t.Fatalf("draw %d: forks of the same (seed, label) diverge: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestForkIndependentOfParentConsumption(t *testing.T) {
+	p1 := NewRNG(7)
+	p2 := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		p2.Int63() // consume part of p2's stream before forking
+	}
+	a, b := p1.Fork("x"), p2.Fork("x")
+	if a.Int63() != b.Int63() {
+		t.Error("fork stream depends on how much of the parent was consumed")
+	}
+}
+
+func TestForkLabelsDiverge(t *testing.T) {
+	parent := NewRNG(1)
+	a, b := parent.Fork("a"), parent.Fork("b")
+	same := 0
+	for i := 0; i < 20; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Error("forks with different labels produce identical streams")
+	}
+}
+
+func TestForkSeedDependence(t *testing.T) {
+	a := NewRNG(1).Fork("x")
+	b := NewRNG(2).Fork("x")
+	if a.Int63() == b.Int63() && a.Int63() == b.Int63() && a.Int63() == b.Int63() {
+		t.Error("fork streams ignore the parent seed")
+	}
+}
+
+func TestForkOfForkDiverges(t *testing.T) {
+	root := NewRNG(3)
+	direct := root.Fork("x")
+	nested := root.Fork("y").Fork("x")
+	if direct.Int63() == nested.Int63() && direct.Int63() == nested.Int63() {
+		t.Error("fork chains collapse to the same stream")
+	}
+}

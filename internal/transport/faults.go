@@ -1,0 +1,48 @@
+package transport
+
+import (
+	"time"
+
+	"gvrt/internal/api"
+	"gvrt/internal/faultinject"
+)
+
+// faultConn is a Conn that consults a fault-plane hook before every
+// call, so transport failures (drop, delay, spurious errors, cluster
+// partitions) are injected at the same layer where the real ones would
+// surface.
+type faultConn struct {
+	inner Conn
+	hook  *faultinject.Hook
+	sleep func(time.Duration)
+}
+
+// WithFaults wraps c so every Call first consults hook. A nil hook (or
+// nil sleep with a delay decision) degrades gracefully: the wrapper
+// forwards the call untouched. Drop decisions close the inner
+// connection and return ErrClosed, exactly what a torn socket yields —
+// callers already folding transport errors into ErrConnectionClosed
+// need no changes. Delay decisions stall in model time via sleep.
+func WithFaults(c Conn, hook *faultinject.Hook, sleep func(time.Duration)) Conn {
+	if hook == nil {
+		return c
+	}
+	return &faultConn{inner: c, hook: hook, sleep: sleep}
+}
+
+func (f *faultConn) Call(call api.Call) (api.Reply, error) {
+	d := f.hook.Check()
+	if d.Delay > 0 && f.sleep != nil {
+		f.sleep(d.Delay)
+	}
+	if d.Drop {
+		f.inner.Close()
+		return api.Reply{}, ErrClosed
+	}
+	if d.Err != nil {
+		return api.Reply{}, d.Err
+	}
+	return f.inner.Call(call)
+}
+
+func (f *faultConn) Close() error { return f.inner.Close() }

@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"gvrt/internal/api"
+)
+
+// encodeEnvelope gob-encodes an envelope the way the TCP transport
+// frames it on the wire.
+func encodeEnvelope(t testing.TB, env api.Envelope) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		t.Fatalf("encode seed envelope: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeCall feeds arbitrary bytes to the server-side wire decoder.
+// The invariant is the one Recv relies on: decoding either fails
+// cleanly or yields an envelope whose call answers CallName and
+// survives a re-encode/decode round trip unchanged. The seed corpus is
+// the call set exercised by the round-trip tests above, including a
+// payload-carrying copy and a kernel launch.
+func FuzzDecodeCall(f *testing.F) {
+	seeds := []api.Call{
+		api.MallocCall{Size: 123, Kind: api.AllocPitched},
+		api.FreeCall{Ptr: 42},
+		api.MemsetCall{Dst: 7, Value: 0xAB, Size: 64},
+		api.MemcpyHDCall{Dst: 1, Data: []byte{1, 2, 3, 4, 5}, Size: 5},
+		api.MemcpyDHCall{Src: 9, Size: 9},
+		api.MemcpyDDCall{Dst: 3, Src: 4, Size: 16},
+		api.LaunchCall{
+			Kernel:  "inc",
+			Grid:    api.Dim3{X: 4, Y: 1, Z: 1},
+			Block:   api.Dim3{X: 256, Y: 1, Z: 1},
+			PtrArgs: []api.DevPtr{1, 2},
+			Scalars: []uint64{99},
+			Repeat:  3,
+		},
+		api.GetDeviceCountCall{},
+		api.SynchronizeCall{},
+		api.RegisterFatBinaryCall{Binary: api.FatBinary{
+			ID:      "fuzz-bin",
+			Kernels: []api.KernelMeta{{Name: "inc"}},
+		}},
+		api.SetAppIDCall{AppID: "app-0"},
+		api.CheckpointCall{},
+		api.ExitCall{},
+	}
+	for i, call := range seeds {
+		f.Add(encodeEnvelope(f, api.Envelope{Seq: uint64(i + 1), Call: call}))
+	}
+	// A few malformed inputs so the fuzzer starts from the failure side
+	// of the boundary too.
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+	f.Add(bytes.Repeat([]byte{0x7F}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var env api.Envelope
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+			return // rejected cleanly: fine
+		}
+		if env.Call == nil {
+			return // envelope without a call: Recv would hand nil upward
+		}
+		// Whatever decoded must behave like a call...
+		_ = env.Call.CallName()
+		// ...and survive the wire unchanged.
+		reencoded := encodeEnvelope(t, env)
+		var again api.Envelope
+		if err := gob.NewDecoder(bytes.NewReader(reencoded)).Decode(&again); err != nil {
+			t.Fatalf("re-decode of re-encoded envelope failed: %v", err)
+		}
+		if again.Seq != env.Seq || !reflect.DeepEqual(again.Call, env.Call) {
+			t.Fatalf("round trip changed the envelope:\n  first:  %#v\n  second: %#v", env, again)
+		}
+	})
+}
