@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -157,11 +158,17 @@ func main() {
 	fmt.Printf("jobs: %d completed, %d failed clean, %d failed UNCLEAN, hung=%v\n",
 		completed.Load(), failedClean.Load(), failedDirty.Load(), hung)
 	fmt.Printf("\n--- fired fault schedule ---\n%s", plane)
+	replayed := replayVerified(plan, plane)
+	if replayed {
+		fmt.Printf("schedule replay: verified pure against seed %d\n", *seed)
+	}
 	m := node.RT.Metrics()
 	fmt.Printf("\n--- runtime metrics ---\n")
 	fmt.Printf("calls=%d binds=%d swaps=%d/%d migrations=%d failures=%d recoveries=%d replays=%d\n",
 		m.CallsServed, m.Binds, m.InterAppSwaps, m.IntraAppSwaps,
 		m.Migrations, m.DeviceFailures, m.Recoveries, m.Replays)
+	fmt.Printf("readmissions=%d breaker-trips=%d retries=%d sheds=%d\n",
+		m.Readmissions, m.BreakerTrips, m.RetriesSpent, m.Sheds)
 	events := rec.Snapshot()
 	if n := len(events); n > *traceN {
 		events = events[n-*traceN:]
@@ -170,12 +177,134 @@ func main() {
 	for _, e := range events {
 		fmt.Printf("  %s\n", e)
 	}
+	recovered := true
+	if !hung {
+		recovered = recoveryVerdict(node, devs, rec)
+	}
+
 	fmt.Printf("\nreproduce this exact run: gvrt-chaos -plan %s -seed %d (or GVRT_CHAOS_SEED=%d)\n",
 		plan.Name, *seed, *seed)
 
-	if hung || failedDirty.Load() > 0 {
+	if hung || failedDirty.Load() > 0 || !recovered || !replayed {
 		os.Exit(1)
 	}
+}
+
+// replayVerified checks the determinism invariant behind seed replay:
+// whether the n-th occurrence at a hook fires is a pure function of
+// (seed, point, label, n). It rebuilds a fresh plane from the plan,
+// feeds it the per-hook occurrence counts this run observed, and
+// requires the identical faults to fire at the identical occurrences.
+// The counts themselves are runtime dynamics — once a device fails and
+// its load redistributes, another device's tally can differ between
+// runs of the same seed — but the decision table never does, which is
+// what makes a CI failure reproducible from its seed line.
+func replayVerified(plan gvrt.FaultPlan, ran *gvrt.FaultPlane) bool {
+	replay := gvrt.NewFaultPlane(plan)
+	for key, n := range ran.Occurrences() {
+		point, label, _ := strings.Cut(key, "/")
+		h := replay.Hook(gvrt.FaultPoint(point), label)
+		if h == nil {
+			fmt.Printf("schedule replay: hook %q missing from a fresh plane\n", key)
+			return false
+		}
+		for i := uint64(0); i < n; i++ {
+			h.Check()
+		}
+	}
+	group := func(p *gvrt.FaultPlane) map[string][]gvrt.FaultFired {
+		out := make(map[string][]gvrt.FaultFired)
+		for _, f := range p.Schedule() {
+			k := string(f.Point) + "/" + f.Label
+			out[k] = append(out[k], f)
+		}
+		return out
+	}
+	ran2, rep := group(ran), group(replay)
+	ok := true
+	for key, fs := range ran2 {
+		rs := rep[key]
+		if len(fs) != len(rs) {
+			fmt.Printf("schedule replay: DIVERGED at %s: %d fired vs %d on replay\n", key, len(fs), len(rs))
+			ok = false
+			continue
+		}
+		for i := range fs {
+			if fs[i] != rs[i] {
+				fmt.Printf("schedule replay: DIVERGED at %s: %s vs %s\n", key, fs[i], rs[i])
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
+// recoveryVerdict is the self-healing half of the post-mortem: it
+// clears the sticky device faults the plan injected (the simulated
+// operator swap / driver reset), waits for the runtime's health monitor
+// to re-admit every restored device, and reports the per-device
+// time-to-recovery in model time measured from the failure event to the
+// matching re-admission event in the trace ring. The run fails if a
+// healthy-again device is never handed back to the waiting list.
+func recoveryVerdict(node *gvrt.LocalNode, devs []*gvrt.Device, rec *gvrt.TraceRecorder) bool {
+	fmt.Printf("\n--- recovery verdict ---\n")
+	var failed []*gvrt.Device
+	for _, d := range devs {
+		if d.Failed() {
+			failed = append(failed, d)
+		}
+	}
+	if len(failed) == 0 {
+		fmt.Printf("no device left failed; nothing to recover\n")
+		return true
+	}
+	base := node.RT.Metrics().Readmissions
+	for _, d := range failed {
+		d.Restore()
+	}
+	// The health monitor probes on its own model-time cadence; give it a
+	// generous wall-time allowance before declaring recovery broken.
+	deadline := time.Now().Add(10 * time.Second)
+	for node.RT.Metrics().Readmissions-base < int64(len(failed)) {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ok := true
+	events := rec.Snapshot()
+	for _, d := range failed {
+		id := d.ID()
+		failT := time.Duration(-1)
+		recT := time.Duration(-1)
+		for _, e := range events {
+			if e.Device != id {
+				continue
+			}
+			switch {
+			case e.Kind == gvrt.TraceFailure && failT < 0:
+				failT = e.Time
+			case e.Kind == gvrt.TraceRecovery && e.Detail == "device re-admitted":
+				recT = e.Time
+			}
+		}
+		switch {
+		case recT < 0:
+			fmt.Printf("device %d: NEVER RE-ADMITTED after restore\n", id)
+			ok = false
+		case failT >= 0:
+			fmt.Printf("device %d: re-admitted, time-to-recovery %.3fs model time\n",
+				id, (recT - failT).Seconds())
+		default:
+			fmt.Printf("device %d: re-admitted at %.3fs (failure event evicted from ring)\n",
+				id, recT.Seconds())
+		}
+	}
+	if ok {
+		fmt.Printf("all %d failed devices re-admitted\n", len(failed))
+	}
+	return ok
 }
 
 // defaultSeed reads GVRT_CHAOS_SEED, falling back to 1.

@@ -41,6 +41,8 @@
 package gvrt
 
 import (
+	"time"
+
 	"gvrt/internal/api"
 	"gvrt/internal/cluster"
 	"gvrt/internal/core"
@@ -49,6 +51,7 @@ import (
 	"gvrt/internal/frontend"
 	"gvrt/internal/gpu"
 	"gvrt/internal/memmgr"
+	"gvrt/internal/resilience"
 	"gvrt/internal/sched"
 	"gvrt/internal/sim"
 	"gvrt/internal/trace"
@@ -165,17 +168,20 @@ type (
 
 // Trace event kinds.
 const (
-	TraceConnect    = trace.KindConnect
-	TraceBind       = trace.KindBind
-	TraceUnbind     = trace.KindUnbind
-	TraceIntraSwap  = trace.KindIntraSwap
-	TraceInterSwap  = trace.KindInterSwap
-	TraceMigration  = trace.KindMigration
-	TraceCheckpoint = trace.KindCheckpoint
-	TraceFailure    = trace.KindFailure
-	TraceRecovery   = trace.KindRecovery
-	TraceOffload    = trace.KindOffload
-	TraceExit       = trace.KindExit
+	TraceConnect     = trace.KindConnect
+	TraceBind        = trace.KindBind
+	TraceUnbind      = trace.KindUnbind
+	TraceIntraSwap   = trace.KindIntraSwap
+	TraceInterSwap   = trace.KindInterSwap
+	TraceMigration   = trace.KindMigration
+	TraceCheckpoint  = trace.KindCheckpoint
+	TraceFailure     = trace.KindFailure
+	TraceRecovery    = trace.KindRecovery
+	TraceOffload     = trace.KindOffload
+	TraceShed        = trace.KindShed
+	TraceBreakerTrip = trace.KindBreakerTrip
+	TraceBreakerHeal = trace.KindBreakerHeal
+	TraceExit        = trace.KindExit
 )
 
 // NewTraceRecorder creates a recorder retaining the most recent
@@ -224,6 +230,56 @@ const (
 // NewFaultPlane arms a fault plan.
 func NewFaultPlane(plan FaultPlan) *FaultPlane { return faultinject.New(plan) }
 
+// Resilience types: the self-healing layer's policy primitives (call
+// deadlines, retry budgets, circuit breakers). Cluster nodes wire these
+// automatically; they are exported for direct transport users and for
+// tuning. See DESIGN.md §8.
+type (
+	// Retrier transparently retries transient failures under a budget.
+	Retrier = resilience.Retrier
+	// RetryPolicy configures a Retrier.
+	RetryPolicy = resilience.RetryPolicy
+	// RetryBudget is a token bucket capping retry amplification.
+	RetryBudget = resilience.Budget
+	// Breaker is a per-link circuit breaker (closed/open/half-open).
+	Breaker = resilience.Breaker
+	// BreakerState is a Breaker's current state.
+	BreakerState = resilience.BreakerState
+)
+
+// Circuit breaker states.
+const (
+	BreakerClosed   = resilience.BreakerClosed
+	BreakerOpen     = resilience.BreakerOpen
+	BreakerHalfOpen = resilience.BreakerHalfOpen
+)
+
+// NewRetrier builds a retrier from a policy (zero fields get defaults).
+func NewRetrier(p RetryPolicy) *Retrier { return resilience.NewRetrier(p) }
+
+// NewRetryBudget builds a token bucket with the given capacity and
+// model-time refill rate; now is typically Clock.Now.
+func NewRetryBudget(capacity int, refillPerSec float64, now func() time.Duration) *RetryBudget {
+	return resilience.NewBudget(capacity, refillPerSec, now)
+}
+
+// NewBreaker builds a circuit breaker tripping after threshold
+// consecutive failures and probing again after cooldown of model time.
+func NewBreaker(name string, threshold int, cooldown time.Duration, now func() time.Duration) *Breaker {
+	return resilience.NewBreaker(name, threshold, cooldown, now)
+}
+
+// IsTransientError reports whether an error carries a code worth
+// retrying (device momentarily gone, node overloaded, deadline, link
+// down).
+func IsTransientError(err error) bool { return resilience.Transient(err) }
+
+// WithCallDeadline bounds every Call on conn to d of model time;
+// expiry closes the connection and returns ErrDeadlineExceeded.
+func WithCallDeadline(conn Conn, clock *Clock, d time.Duration) Conn {
+	return transport.WithDeadline(conn, clock, d)
+}
+
 // Device models from the paper's testbed (§5.1).
 var (
 	TeslaC2050 = gpu.TeslaC2050
@@ -243,6 +299,8 @@ const (
 	ErrRuntimeUnstable      = api.ErrRuntimeUnstable
 	ErrSwapAllocation       = api.ErrSwapAllocation
 	ErrConnectionClosed     = api.ErrConnectionClosed
+	ErrDeadlineExceeded     = api.ErrDeadlineExceeded
+	ErrOverloaded           = api.ErrOverloaded
 )
 
 // ErrorCode extracts the result code from an error returned by the

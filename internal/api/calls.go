@@ -217,6 +217,12 @@ type ResumeCall struct{ ID int64 }
 // context can be restarted on another device without rerunning kernels.
 type CheckpointCall struct{}
 
+// PingCall is the cheapest possible round trip: it touches no context
+// or device state. The cluster layer's half-open circuit-breaker probe
+// uses it to test whether a partitioned peer link has healed without
+// committing real work to a possibly-still-dead peer.
+type PingCall struct{}
+
 // ExitCall announces the orderly end of an application thread; the
 // runtime releases its context, page table and swap space.
 type ExitCall struct{}
@@ -238,6 +244,7 @@ func (SetDeadlineCall) CallName() string       { return "gvrtSetDeadline" }
 func (GetSessionCall) CallName() string        { return "gvrtGetSession" }
 func (ResumeCall) CallName() string            { return "gvrtResume" }
 func (CheckpointCall) CallName() string        { return "gvrtCheckpoint" }
+func (PingCall) CallName() string              { return "gvrtPing" }
 func (ExitCall) CallName() string              { return "gvrtExit" }
 
 // Reply is the synchronous response to a Call.
@@ -284,5 +291,6 @@ func init() {
 	gob.Register(GetSessionCall{})
 	gob.Register(ResumeCall{})
 	gob.Register(CheckpointCall{})
+	gob.Register(PingCall{})
 	gob.Register(ExitCall{})
 }

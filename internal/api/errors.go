@@ -68,6 +68,14 @@ const (
 	// ErrConnectionClosed reports a torn connection between the
 	// frontend and the runtime daemon.
 	ErrConnectionClosed
+	// ErrDeadlineExceeded reports a call that exceeded its model-time
+	// deadline; the deadline guard tears the connection down, so no
+	// stale reply can ever satisfy a later call.
+	ErrDeadlineExceeded
+	// ErrOverloaded reports fast admission-control rejection: the node's
+	// projected queue exceeds its hard cap and no peer can absorb the
+	// load, so the connection is refused instead of queued forever.
+	ErrOverloaded
 )
 
 var errNames = map[Error]string{
@@ -86,6 +94,8 @@ var errNames = map[Error]string{
 	ErrNotRegistered:        "kernel function not registered",
 	ErrUnsupported:          "operation not supported under sharing",
 	ErrConnectionClosed:     "connection closed",
+	ErrDeadlineExceeded:     "call deadline exceeded",
+	ErrOverloaded:           "node overloaded, admission refused",
 }
 
 // Error implements the error interface. Success should never be wrapped

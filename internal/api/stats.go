@@ -41,6 +41,10 @@ type RuntimeStats struct {
 	DeviceFailures int64         `json:"device_failures"`
 	Offloaded      int64         `json:"offloaded"`
 	UnbindRetries  int64         `json:"unbind_retries"`
+	BreakerTrips   int64         `json:"breaker_trips"`
+	Readmissions   int64         `json:"readmissions"`
+	RetriesSpent   int64         `json:"retries_spent"`
+	Sheds          int64         `json:"sheds"`
 	QueueDepth     int           `json:"queue_depth"`
 	LiveContexts   int           `json:"live_contexts"`
 	Devices        []DeviceStats `json:"devices"`

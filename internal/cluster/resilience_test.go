@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gvrt/internal/api"
+	"gvrt/internal/core"
+	"gvrt/internal/faultinject"
+	"gvrt/internal/frontend"
+	"gvrt/internal/resilience"
+	"gvrt/internal/trace"
+	"gvrt/internal/transport"
+)
+
+const resBinID = "cluster-resilience-bin"
+
+func init() {
+	api.RegisterKernelImpl(resBinID, "inc", func(mem api.KernelMemory, scalars []uint64) error {
+		buf, err := mem.Arg(0)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < int(scalars[0]); i++ {
+			buf[i]++
+		}
+		return nil
+	})
+}
+
+// resJob pushes one data-checked roundtrip through a deadline-bounded
+// connection to node b: register, malloc, seed, 4 increments, verify.
+func resJob(b *Node, seed byte) error {
+	conn := transport.WithDeadline(b.Dial(), b.clock, 5*time.Minute)
+	c := frontend.Connect(conn)
+	defer c.Close()
+	if err := c.RegisterFatBinary(api.FatBinary{
+		ID:      resBinID,
+		Kernels: []api.KernelMeta{{Name: "inc", BaseTime: time.Millisecond}},
+	}); err != nil {
+		return err
+	}
+	p, err := c.Malloc(1 << 12)
+	if err != nil {
+		return err
+	}
+	if err := c.MemcpyHD(p, []byte{seed, seed, seed, seed}); err != nil {
+		return err
+	}
+	for k := 0; k < 4; k++ {
+		if err := c.Launch(api.LaunchCall{Kernel: "inc", PtrArgs: []api.DevPtr{p}, Scalars: []uint64{4}}); err != nil {
+			return err
+		}
+	}
+	out, err := c.MemcpyDH(p, 4)
+	if err != nil {
+		return err
+	}
+	for i := range out {
+		if out[i] != seed+4 {
+			return fmt.Errorf("data corruption: byte %d = %d, want %d", i, out[i], seed+4)
+		}
+	}
+	return nil
+}
+
+// TestPartitionAndHealSelfHeals is the resilience layer's acceptance
+// test: a seeded fault plan partitions the overloaded node's peer link
+// mid-offload AND kills its only device; application threads keep
+// hammering the node throughout. Then both faults clear — the breaker
+// must re-close off a half-open probe, the device must be re-admitted
+// with a device-level recovery event, and every application thread must
+// finish with verified data, with no call outliving its deadline.
+func TestPartitionAndHealSelfHeals(t *testing.T) {
+	plan := faultinject.Plan{
+		Name: "partition-and-heal",
+		Seed: 20260805,
+		Rules: []faultinject.Rule{
+			// B's outbound link partitions for good mid-offload...
+			{Point: faultinject.PointClusterLink, Label: "node-b", AtNth: 8, Action: faultinject.ActPartition},
+			// ...and B's only GPU dies shortly after its 5th kernel.
+			{Point: faultinject.PointDeviceExec, Label: "gpu0", AtNth: 5, Action: faultinject.ActFailDevice},
+		},
+	}
+	plane := faultinject.New(plan)
+	rec := trace.NewRecorder(1024)
+	cfgA := core.Config{CallOverhead: -1, VGPUsPerDevice: 1}
+	cfgB := core.Config{CallOverhead: -1, VGPUsPerDevice: 1, OffloadThreshold: 2,
+		Faults: plane, Trace: rec}
+	_, _, b, _ := newTestCluster(t, cfgA, cfgB)
+
+	// Application threads: keep issuing data-checked roundtrips (feeding
+	// the offload path, the link and the device) until the cluster has
+	// healed AND their latest roundtrip verified clean. Failures during
+	// the outage are retried by reconnecting — the connection-level
+	// resilience contract: a thread never hangs, so it can always try
+	// again.
+	const jobs = 10
+	healed := make(chan struct{})
+	var unfinished atomic.Int32
+	unfinished.Store(jobs)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(60 * time.Second)
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				err := resJob(b, byte(j))
+				if err == nil {
+					select {
+					case <-healed:
+						unfinished.Add(-1)
+						return
+					default:
+						continue // keep the pressure on until the faults clear
+					}
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(j)
+	}
+
+	// Phase 1: both faults fire under load.
+	link := plane.Hook(faultinject.PointClusterLink, "node-b")
+	dev := b.CRT.Device(0)
+	waitFor(t, deadline, "link partition and device failure", func() bool {
+		return link.Down() && dev.Failed()
+	})
+	// Phase 2: the breaker trips open — offload attempts and dead
+	// proxied calls supply the consecutive failures.
+	waitFor(t, deadline, "breaker trip", func() bool {
+		return b.Breaker().State() != resilience.BreakerClosed
+	})
+
+	// Phase 3: both faults clear (partition heals, operator restores the
+	// device).
+	link.Heal()
+	dev.Restore()
+	close(healed)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Until(deadline) + 5*time.Second):
+		t.Fatalf("application threads hung after heal; reproduce with plan %q seed %d",
+			plan.Name, plane.Seed())
+	}
+	if n := unfinished.Load(); n != 0 {
+		t.Fatalf("%d/%d application threads never finished a verified roundtrip after heal", n, jobs)
+	}
+
+	// Phase 4: the self-healing evidence. The breaker re-closed off a
+	// half-open probe...
+	waitFor(t, time.Now().Add(15*time.Second), "breaker re-close", func() bool {
+		return b.Breaker().State() == resilience.BreakerClosed
+	})
+	if b.Breaker().Trips() == 0 {
+		t.Error("breaker never tripped; the test exercised nothing")
+	}
+	m := b.RT.Metrics()
+	if m.BreakerTrips == 0 {
+		t.Errorf("BreakerTrips metric = 0, want > 0")
+	}
+	// ...and the device was re-admitted, with the device-level recovery
+	// event.
+	waitFor(t, time.Now().Add(15*time.Second), "device re-admission", func() bool {
+		return b.RT.Metrics().Readmissions > 0
+	})
+	found := false
+	for _, e := range rec.Filter(trace.KindRecovery) {
+		if e.Device == 0 && e.Detail == "device re-admitted" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no device-level recovery event in node B's trace")
+	}
+	if evs := rec.Filter(trace.KindBreakerTrip); len(evs) == 0 {
+		t.Error("no breaker-trip event in node B's trace")
+	}
+	if evs := rec.Filter(trace.KindBreakerHeal); len(evs) == 0 {
+		t.Error("no breaker-heal event in node B's trace")
+	}
+	t.Logf("self-heal: trips=%d readmissions=%d retries=%d offloaded=%d sheds=%d",
+		m.BreakerTrips, b.RT.Metrics().Readmissions, m.RetriesSpent, m.Offloaded, m.Sheds)
+}
+
+// waitFor polls cond until it holds or the wall deadline passes.
+func waitFor(t *testing.T, deadline time.Time, what string, cond func() bool) {
+	t.Helper()
+	for !cond() {
+		if !time.Now().Before(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -320,6 +320,11 @@ func (rt *Runtime) handle(ctx *Context, call api.Call) api.Reply {
 	case api.CheckpointCall:
 		return api.Reply{Code: api.Code(rt.checkpoint(ctx))}
 
+	case api.PingCall:
+		// Liveness probe (the breaker's half-open test): deliberately
+		// touches no context or device state.
+		return api.Reply{}
+
 	case api.ExitCall:
 		return api.Reply{}
 

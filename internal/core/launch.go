@@ -97,6 +97,11 @@ func (rt *Runtime) launch(ctx *Context, call api.LaunchCall) error {
 		}
 		err := v.cuctx.Launch(devCall)
 		if errors.Is(err, api.ErrDeviceUnavailable) {
+			// The device died under this kernel. Mark it failed before
+			// recovering: recovery only re-binds once the runtime knows
+			// the vGPU is dead — otherwise the context stays "bound" to
+			// the corpse and recovery spins without making progress.
+			rt.onDeviceFailure(v.ds)
 			if rerr := rt.recover(ctx); rerr != nil {
 				return rerr
 			}
@@ -404,6 +409,9 @@ func (rt *Runtime) onDeviceFailure(ds *deviceState) {
 	rt.deviceFailures.Add(1)
 	rt.logf("device %d (%s) failed", ds.index, ds.dev.Spec().Name)
 	rt.event(trace.KindFailure, 0, 0, ds.index, ds.dev.Spec().Name)
+	// Start watching for the fault to clear so the device can be hot
+	// re-admitted (health.go).
+	rt.kickHealthMonitor()
 }
 
 // recover restores a context after its device failed or was removed:

@@ -25,6 +25,26 @@ func (rt *Runtime) shouldOffload(admitted int) bool {
 	if rt.cfg.PeerDial == nil || rt.cfg.OffloadThreshold <= 0 {
 		return false
 	}
+	// Circuit-broken peer: while the link's breaker is open, do not even
+	// attempt the dial — the connection is served locally at once
+	// instead of paying a doomed round trip per arrival.
+	if !rt.peerAvailable() {
+		return false
+	}
+	return rt.projectedQueue(admitted) >= rt.cfg.OffloadThreshold
+}
+
+// peerAvailable consults the cluster layer's link gate (nil means
+// always available, preserving the pre-breaker behaviour for direct
+// PeerDial users).
+func (rt *Runtime) peerAvailable() bool {
+	return rt.cfg.PeerAvailable == nil || rt.cfg.PeerAvailable()
+}
+
+// projectedQueue is the load signal shared by offloading and admission
+// control: the number of application threads beyond virtual-GPU
+// capacity once every admitted thread reaches its first kernel launch.
+func (rt *Runtime) projectedQueue(admitted int) int {
 	vgpus := 0
 	rt.mu.Lock()
 	for _, ds := range rt.devs {
@@ -39,7 +59,21 @@ func (rt *Runtime) shouldOffload(admitted int) bool {
 		admitted = l
 	}
 	rt.mu.Unlock()
-	return admitted-vgpus >= rt.cfg.OffloadThreshold
+	return admitted - vgpus
+}
+
+// shouldShed reports whether admission control rejects this connection:
+// the projected queue exceeds the hard cap AND no peer can absorb the
+// load (none configured, or its breaker is open). With a healthy peer
+// the offload path handles the overflow instead.
+func (rt *Runtime) shouldShed(admitted int) bool {
+	if rt.cfg.AdmissionMaxQueue <= 0 {
+		return false
+	}
+	if rt.cfg.PeerDial != nil && rt.peerAvailable() {
+		return false
+	}
+	return rt.projectedQueue(admitted) > rt.cfg.AdmissionMaxQueue
 }
 
 // HandleConn is the connection-manager entry point: it either serves
@@ -59,8 +93,38 @@ func (rt *Runtime) HandleConn(sc transport.ServerConn) {
 		}
 		rt.logf("offload dial failed (%v); serving locally", err)
 	}
+	if rt.shouldShed(admitted) {
+		rt.admitted.Add(-1)
+		rt.sheds.Add(1)
+		rt.logf("admission control: shedding connection (projected queue over cap)")
+		rt.event(trace.KindShed, 0, 0, -1, "")
+		rt.shed(sc)
+		return
+	}
 	defer rt.admitted.Add(-1)
 	rt.Serve(sc)
+}
+
+// shed rejects a connection fast: every call is answered with
+// ErrOverloaded — a transient code retry layers understand — without
+// ever creating a context or touching the waiting list. The goroutine
+// parks on the (cheap) connection until the application gives up or
+// exits.
+func (rt *Runtime) shed(sc transport.ServerConn) {
+	defer func() { _ = sc.Close() }()
+	for {
+		call, err := sc.Recv()
+		if err != nil {
+			return
+		}
+		if _, isExit := call.(api.ExitCall); isExit {
+			_ = sc.Reply(api.Reply{})
+			return
+		}
+		if err := sc.Reply(api.Reply{Code: api.ErrOverloaded}); err != nil {
+			return
+		}
+	}
 }
 
 // proxy pumps calls from a local connection to a peer runtime and
@@ -83,8 +147,14 @@ func (rt *Runtime) proxy(sc transport.ServerConn, peer transport.Conn) {
 		if err != nil {
 			// The peer died mid-stream; the application observes a
 			// connection-level failure, as it would with a crashed
-			// remote daemon.
-			_ = sc.Reply(api.Reply{Code: api.ErrConnectionClosed})
+			// remote daemon. A deadline expiry keeps its own code so
+			// the caller can tell "peer too slow" from "peer gone" —
+			// either way this proxied stream is finished.
+			code := api.ErrConnectionClosed
+			if api.Code(err) == api.ErrDeadlineExceeded {
+				code = api.ErrDeadlineExceeded
+			}
+			_ = sc.Reply(api.Reply{Code: code})
 			return
 		}
 		if err := sc.Reply(reply); err != nil {

@@ -44,6 +44,9 @@ const (
 	// DefaultMinVictimIdle is the idle time after which a context is
 	// considered to be in a CPU phase for swap/migration eligibility.
 	DefaultMinVictimIdle = 100 * time.Millisecond
+	// DefaultHealthInterval is the pause between the health monitor's
+	// probes of unhealthy devices for re-admission.
+	DefaultHealthInterval = 250 * time.Millisecond
 )
 
 // Config tunes a Runtime. The zero value gives the paper's evaluation
@@ -95,6 +98,21 @@ type Config struct {
 	// OffloadThreshold is the pending/waiting queue length above which
 	// new connections are offloaded; 0 disables offloading.
 	OffloadThreshold int
+	// PeerAvailable, when set, gates offloading: shouldOffload only
+	// attempts the peer while it returns true. The cluster layer wires
+	// it to the peer link's circuit breaker, so an open breaker stops
+	// the node from even dialing a partitioned peer.
+	PeerAvailable func() bool
+	// AdmissionMaxQueue is the admission-control hard cap: when the
+	// projected queue depth exceeds it and no peer can absorb the load
+	// (PeerAvailable is nil or false), new connections are rejected
+	// fast with ErrOverloaded instead of queueing forever. 0 disables
+	// admission control (the paper's unbounded behaviour).
+	AdmissionMaxQueue int
+	// HealthInterval is the pause between health-monitor probes of
+	// unhealthy devices for hot re-admission; 0 means
+	// DefaultHealthInterval, negative disables the monitor.
+	HealthInterval time.Duration
 	// Logf, when set, receives debug events.
 	Logf func(format string, args ...any)
 	// Trace, when set, records structured scheduling events (bindings,
@@ -131,6 +149,17 @@ func (c *Config) backoff() time.Duration {
 		return DefaultBindBackoff
 	}
 	return c.BindBackoff
+}
+
+func (c *Config) healthInterval() time.Duration {
+	switch {
+	case c.HealthInterval == 0:
+		return DefaultHealthInterval
+	case c.HealthInterval < 0:
+		return 0
+	default:
+		return c.HealthInterval
+	}
 }
 
 func (c *Config) minVictimIdle() time.Duration {
@@ -213,6 +242,10 @@ type Metrics struct {
 	DeviceFailures int64
 	Offloaded      int64
 	UnbindRetries  int64
+	BreakerTrips   int64
+	Readmissions   int64
+	RetriesSpent   int64
+	Sheds          int64
 	Memory         memmgr.Stats
 	Devices        []DeviceUtilization
 }
@@ -229,14 +262,15 @@ type Runtime struct {
 	// without a plan.
 	dispatchHook *faultinject.Hook
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	devs    []*deviceState
-	waiting []*Context
-	ctxs    map[int64]*Context
-	orphans map[int64]bool
-	nextCtx int64
-	closed  bool
+	mu            sync.Mutex
+	cond          *sync.Cond
+	devs          []*deviceState
+	waiting       []*Context
+	ctxs          map[int64]*Context
+	orphans       map[int64]bool
+	nextCtx       int64
+	closed        bool
+	healthRunning bool
 
 	calls          atomic.Int64
 	binds          atomic.Int64
@@ -249,6 +283,10 @@ type Runtime struct {
 	offloaded      atomic.Int64
 	unbindRetries  atomic.Int64
 	admitted       atomic.Int64
+	breakerTrips   atomic.Int64
+	readmissions   atomic.Int64
+	retriesSpent   atomic.Int64
+	sheds          atomic.Int64
 }
 
 // New builds a runtime over a CUDA runtime instance, creating the
@@ -381,6 +419,10 @@ func (rt *Runtime) Metrics() Metrics {
 		DeviceFailures: rt.deviceFailures.Load(),
 		Offloaded:      rt.offloaded.Load(),
 		UnbindRetries:  rt.unbindRetries.Load(),
+		BreakerTrips:   rt.breakerTrips.Load(),
+		Readmissions:   rt.readmissions.Load(),
+		RetriesSpent:   rt.retriesSpent.Load(),
+		Sheds:          rt.sheds.Load(),
 		Memory:         rt.mm.Stats(),
 	}
 }
@@ -406,6 +448,10 @@ func (rt *Runtime) wireStats() api.RuntimeStats {
 		DeviceFailures: m.DeviceFailures,
 		Offloaded:      m.Offloaded,
 		UnbindRetries:  m.UnbindRetries,
+		BreakerTrips:   m.BreakerTrips,
+		Readmissions:   m.Readmissions,
+		RetriesSpent:   m.RetriesSpent,
+		Sheds:          m.Sheds,
 		QueueDepth:     depth,
 		LiveContexts:   live,
 	}
@@ -449,6 +495,26 @@ func (rt *Runtime) QueueDepth() int {
 	defer rt.mu.Unlock()
 	return len(rt.waiting)
 }
+
+// NoteBreakerTrip records a peer-link circuit breaker opening; the
+// cluster layer wires its breaker's trip callback here so breaker
+// activity shows up in this node's stats and trace.
+func (rt *Runtime) NoteBreakerTrip(link string) {
+	rt.breakerTrips.Add(1)
+	rt.logf("peer link %s: breaker tripped open", link)
+	rt.event(trace.KindBreakerTrip, 0, 0, -1, link)
+}
+
+// NoteBreakerHeal records a breaker re-closing after its half-open
+// probe succeeded.
+func (rt *Runtime) NoteBreakerHeal(link string) {
+	rt.logf("peer link %s: breaker re-closed", link)
+	rt.event(trace.KindBreakerHeal, 0, 0, -1, link)
+}
+
+// NoteRetrySpent records one transparent frontend retry; the cluster
+// layer wires its shared retrier's hook here.
+func (rt *Runtime) NoteRetrySpent() { rt.retriesSpent.Add(1) }
 
 // logf emits a debug event when configured.
 func (rt *Runtime) logf(format string, args ...any) {

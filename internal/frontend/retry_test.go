@@ -1,0 +1,76 @@
+package frontend
+
+import (
+	"testing"
+
+	"gvrt/internal/api"
+	"gvrt/internal/resilience"
+)
+
+func retrier(budget *resilience.Budget) *resilience.Retrier {
+	return resilience.NewRetrier(resilience.RetryPolicy{
+		MaxAttempts: 5,
+		Budget:      budget,
+	})
+}
+
+func TestWithRetryRidesThroughTransientCodes(t *testing.T) {
+	c, s := newScripted(t,
+		api.Reply{Code: api.ErrDeviceUnavailable}, // re-bind in progress
+		api.Reply{Code: api.ErrOverloaded},        // load spike
+		api.Reply{Ptr: 0x42},                      // third time lucky
+		api.Reply{},                               // Exit
+	)
+	c.WithRetry(retrier(nil))
+	p, err := c.Malloc(64)
+	if err != nil || p != 0x42 {
+		t.Fatalf("Malloc under retry = %#x, %v; want 0x42, nil", p, err)
+	}
+	c.Close()
+	<-s.done
+	if len(s.seen) != 4 {
+		t.Fatalf("server saw %d calls, want 4 (3 mallocs + exit)", len(s.seen))
+	}
+	for i := 0; i < 3; i++ {
+		if s.seen[i].CallName() != "cudaMalloc" {
+			t.Errorf("call %d = %s, want cudaMalloc", i, s.seen[i].CallName())
+		}
+	}
+}
+
+func TestWithRetryStopsOnPermanentCode(t *testing.T) {
+	c, s := newScripted(t,
+		api.Reply{Code: api.ErrInvalidDevicePointer},
+		api.Reply{}, // Exit
+	)
+	c.WithRetry(retrier(nil))
+	_, err := c.Malloc(64)
+	if api.Code(err) != api.ErrInvalidDevicePointer {
+		t.Fatalf("err = %v, want the permanent code unchanged", err)
+	}
+	c.Close()
+	<-s.done
+	if len(s.seen) != 2 {
+		t.Fatalf("server saw %d calls, want 2 (no retries of a permanent error)", len(s.seen))
+	}
+}
+
+func TestWithRetryHonoursBudget(t *testing.T) {
+	replies := make([]api.Reply, 0, 12)
+	for i := 0; i < 11; i++ {
+		replies = append(replies, api.Reply{Code: api.ErrOverloaded})
+	}
+	replies = append(replies, api.Reply{}) // Exit
+	c, s := newScripted(t, replies...)
+	budget := resilience.NewBudget(1, 0, nil) // one retry, ever
+	c.WithRetry(retrier(budget))
+	_, err := c.Malloc(64)
+	if api.Code(err) != api.ErrOverloaded {
+		t.Fatalf("err = %v, want ErrOverloaded after budget exhaustion", err)
+	}
+	c.Close()
+	<-s.done
+	if len(s.seen) != 3 {
+		t.Fatalf("server saw %d calls, want 3 (first try + 1 budgeted retry + exit)", len(s.seen))
+	}
+}

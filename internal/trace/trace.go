@@ -40,22 +40,31 @@ const (
 	KindRecovery
 	// KindOffload is a connection redirected to a peer node.
 	KindOffload
+	// KindShed is a connection rejected by admission control.
+	KindShed
+	// KindBreakerTrip is a peer-link circuit breaker opening.
+	KindBreakerTrip
+	// KindBreakerHeal is a breaker re-closing after a half-open probe.
+	KindBreakerHeal
 	// KindExit is an application-thread exit.
 	KindExit
 )
 
 var kindNames = [...]string{
-	KindConnect:    "connect",
-	KindBind:       "bind",
-	KindUnbind:     "unbind",
-	KindIntraSwap:  "intra-swap",
-	KindInterSwap:  "inter-swap",
-	KindMigration:  "migration",
-	KindCheckpoint: "checkpoint",
-	KindFailure:    "failure",
-	KindRecovery:   "recovery",
-	KindOffload:    "offload",
-	KindExit:       "exit",
+	KindConnect:     "connect",
+	KindBind:        "bind",
+	KindUnbind:      "unbind",
+	KindIntraSwap:   "intra-swap",
+	KindInterSwap:   "inter-swap",
+	KindMigration:   "migration",
+	KindCheckpoint:  "checkpoint",
+	KindFailure:     "failure",
+	KindRecovery:    "recovery",
+	KindOffload:     "offload",
+	KindShed:        "shed",
+	KindBreakerTrip: "breaker-trip",
+	KindBreakerHeal: "breaker-heal",
+	KindExit:        "exit",
 }
 
 // String implements fmt.Stringer.

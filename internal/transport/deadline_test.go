@@ -1,0 +1,113 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"gvrt/internal/api"
+	"gvrt/internal/sim"
+)
+
+// testScale keeps deadline waits to microseconds of wall time.
+const deadlineTestScale = 1e-6
+
+func TestDeadlineFastCallUnaffected(t *testing.T) {
+	clock := sim.NewClock(deadlineTestScale)
+	c, s := Pipe()
+	dc := WithDeadline(c, clock, time.Hour)
+	go func() {
+		call, err := s.Recv()
+		if err != nil {
+			return
+		}
+		if _, ok := call.(api.PingCall); !ok {
+			t.Errorf("server received %T, want SyncCall", call)
+		}
+		_ = s.Reply(api.Reply{})
+	}()
+	r, err := dc.Call(api.PingCall{})
+	if err != nil {
+		t.Fatalf("fast call failed under a generous deadline: %v", err)
+	}
+	if r.Code != api.Success {
+		t.Fatalf("reply code = %v, want success", r.Code)
+	}
+}
+
+func TestDeadlineExpiryTearsConnDown(t *testing.T) {
+	clock := sim.NewClock(deadlineTestScale)
+	c, s := Pipe()
+	dc := WithDeadline(c, clock, 50*time.Millisecond)
+
+	// A server that receives the call and then never replies: the model
+	// of a partitioned or wedged peer.
+	served := make(chan struct{})
+	go func() {
+		_, _ = s.Recv()
+		close(served)
+		// no Reply — ever
+	}()
+
+	_, err := dc.Call(api.PingCall{})
+	if api.Code(err) != api.ErrDeadlineExceeded {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	<-served
+
+	// Expiry must have closed the underlying connection (socket-timeout
+	// semantics): the stream cannot be reused out of sync.
+	if _, err := c.Call(api.PingCall{}); err == nil {
+		t.Fatal("underlying conn still usable after deadline expiry")
+	}
+	if err := s.Reply(api.Reply{}); err == nil {
+		t.Fatal("server side still usable after deadline expiry")
+	}
+}
+
+func TestDeadlineDisabled(t *testing.T) {
+	c, _ := Pipe()
+	if got := WithDeadline(c, nil, time.Second); got != c {
+		t.Fatal("nil clock should return the conn unchanged")
+	}
+	if got := WithDeadline(c, sim.NewClock(deadlineTestScale), 0); got != c {
+		t.Fatal("non-positive deadline should return the conn unchanged")
+	}
+}
+
+func TestServerDeadlineFastReplyUnaffected(t *testing.T) {
+	clock := sim.NewClock(deadlineTestScale)
+	c, s := Pipe()
+	ds := WithServerDeadline(s, clock, time.Hour)
+
+	got := make(chan error, 1)
+	go func() {
+		_, err := c.Call(api.PingCall{})
+		got <- err
+	}()
+	if _, err := ds.Recv(); err != nil {
+		t.Fatalf("Recv failed: %v", err)
+	}
+	if err := ds.Reply(api.Reply{}); err != nil {
+		t.Fatalf("reply to a waiting client failed: %v", err)
+	}
+	if err := <-got; err != nil {
+		t.Fatalf("client call failed: %v", err)
+	}
+}
+
+func TestServerDeadlineBoundsReply(t *testing.T) {
+	clock := sim.NewClock(deadlineTestScale)
+	c, s := Pipe()
+	ds := WithServerDeadline(s, clock, 50*time.Millisecond)
+
+	// Nobody is waiting on the client side: the rendezvous reply can
+	// never be collected, so the hand-off must expire, not wedge the
+	// serving goroutine forever.
+	if err := ds.Reply(api.Reply{}); api.Code(err) != api.ErrDeadlineExceeded {
+		t.Fatalf("abandoned reply err = %v, want ErrDeadlineExceeded", err)
+	}
+	// Expiry closed the connection underneath.
+	if _, err := c.Call(api.PingCall{}); err == nil {
+		t.Fatal("client side still usable after server deadline expiry")
+	}
+}
