@@ -84,8 +84,22 @@ func main() {
 		scale    = flag.Float64("scale", 1e-7, "wall seconds per model second")
 		traceN   = flag.Int("trace", 24, "trace-ring events to print in the post-mortem")
 		timeout  = flag.Duration("timeout", 60*time.Second, "wall-time watchdog before declaring a hang")
+
+		torture         = flag.Bool("torture", false, "crash-torture mode: SIGKILL a journal-backed daemon at armed crash points and verify every committed session recovers")
+		tortureRounds   = flag.Int("torture-rounds", 8, "crash-torture rounds (scenarios cycle: pre-fsync, post-fsync, mid-compaction, torn tail)")
+		tortureSessions = flag.Int("torture-sessions", 3, "concurrent sessions per torture round")
+		tortureLaunches = flag.Int("torture-launches", 12, "kernel launches per torture session")
 	)
 	flag.Parse()
+
+	// Re-exec'd as the torture daemon child?
+	if os.Getenv(envTortureChild) == "1" {
+		tortureChild()
+		return
+	}
+	if *torture {
+		os.Exit(runTorture(*seed, *tortureRounds, *tortureSessions, *tortureLaunches, *timeout))
+	}
 
 	plan, ok := plans(*seed)[*planName]
 	if !ok {

@@ -15,8 +15,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"os"
 	"os/signal"
@@ -49,6 +51,32 @@ func parseGPUs(s string) ([]gvrt.DeviceSpec, error) {
 	return specs, nil
 }
 
+// saveStateAtomic writes the runtime state to a temporary file, fsyncs
+// it, and renames it into place, so the previous state file survives a
+// failure at any point of the save.
+func saveStateAtomic(rt *gvrt.Runtime, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := rt.SaveState(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 func main() {
 	var (
 		listen    = flag.String("listen", ":7070", "TCP address to serve on")
@@ -61,6 +89,7 @@ func main() {
 		migrate   = flag.Bool("migrate", false, "enable load balancing through dynamic binding")
 		autoCkpt  = flag.Duration("auto-checkpoint", 0, "checkpoint after kernels at least this long (model time; 0 = off)")
 		stateFile = flag.String("state", "", "persist runtime state here on SIGINT/SIGTERM and restore it at startup (node-restart support)")
+		journal   = flag.String("journal", "", "crash-consistent checkpoint journal directory: committed sessions survive even a SIGKILL")
 		verbose   = flag.Bool("v", false, "log runtime events")
 	)
 	flag.Parse()
@@ -102,16 +131,66 @@ func main() {
 	}
 	defer node.Close()
 
+	// Crash-consistent durability (DESIGN.md §9): recover the journal
+	// first, so sessions committed before a daemon kill come back as
+	// resumable orphans. A corrupt snapshot header is fatal — starting
+	// empty would silently discard every committed session — while torn
+	// tails and individually corrupt context images are repaired loudly.
+	var jnl *gvrt.Journal
+	if *journal != "" {
+		var rec *gvrt.JournalRecovered
+		jnl, rec, err = gvrt.OpenJournal(*journal, gvrt.JournalOptions{
+			OnCrash: gvrt.JournalDie,
+			Logf: func(format string, args ...any) {
+				log.Printf("gvrtd: journal: "+format, args...)
+			},
+		})
+		if err != nil {
+			if errors.Is(err, gvrt.ErrCorruptJournalSnapshot) {
+				log.Fatalf("gvrtd: journal %s is unrecoverable (%v); refusing to discard committed sessions — restore the directory or move it aside", *journal, err)
+			}
+			log.Fatalf("gvrtd: opening journal %s: %v", *journal, err)
+		}
+		if rec.TornBytes > 0 {
+			log.Printf("gvrtd: journal: truncated %d torn tail bytes (interrupted write)", rec.TornBytes)
+		}
+		for _, q := range rec.Quarantined {
+			log.Printf("gvrtd: journal: QUARANTINED %v — that session is lost, others recovered", q)
+		}
+		if err := node.RT.RecoverFromJournal(rec); err != nil {
+			log.Fatalf("gvrtd: recovering journal state: %v", err)
+		}
+		if n := len(rec.Images); n > 0 {
+			fmt.Fprintf(os.Stderr, "gvrtd: recovered %d session(s) from journal %s\n", n, *journal)
+		}
+	}
+
 	// Node-restart support (§4.6): restore persisted sessions, and save
-	// them again on shutdown. Clients re-attach with Client.Resume.
+	// them again on shutdown. Clients re-attach with Client.Resume. A
+	// missing file is a fresh start; an unreadable or corrupt one is
+	// fatal — starting empty would silently discard saved sessions.
 	if *stateFile != "" {
-		if f, err := os.Open(*stateFile); err == nil {
+		f, err := os.Open(*stateFile)
+		switch {
+		case err == nil:
 			if err := node.RT.RestoreState(f); err != nil {
-				log.Fatalf("gvrtd: restoring %s: %v", *stateFile, err)
+				log.Fatalf("gvrtd: restoring %s: %v (move the file aside to start fresh)", *stateFile, err)
 			}
 			f.Close()
 			fmt.Fprintf(os.Stderr, "gvrtd: restored sessions %v from %s\n",
 				node.RT.OrphanSessions(), *stateFile)
+		case errors.Is(err, fs.ErrNotExist):
+			// First boot: nothing to restore.
+		default:
+			log.Fatalf("gvrtd: reading state file %s: %v", *stateFile, err)
+		}
+	}
+
+	// Attach last: everything recovered or restored above is seeded into
+	// the journal, and all mutations from here on are shadowed to it.
+	if jnl != nil {
+		if err := node.RT.AttachJournal(jnl); err != nil {
+			log.Fatalf("gvrtd: attaching journal: %v", err)
 		}
 	}
 
@@ -121,22 +200,34 @@ func main() {
 	}
 	defer l.Close()
 
-	if *stateFile != "" {
+	if *stateFile != "" || jnl != nil {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-sig
-			f, err := os.Create(*stateFile)
-			if err == nil {
-				err = node.RT.SaveState(f)
-				f.Close()
+			code := 0
+			if *stateFile != "" {
+				// Write-then-rename so a kill mid-save can never leave a
+				// truncated state file where a good one was.
+				if err := saveStateAtomic(node.RT, *stateFile); err != nil {
+					log.Printf("gvrtd: SAVING STATE FAILED, sessions not persisted to %s: %v", *stateFile, err)
+					code = 1
+				} else {
+					fmt.Fprintf(os.Stderr, "gvrtd: state saved to %s\n", *stateFile)
+				}
 			}
-			if err != nil {
-				log.Printf("gvrtd: saving state: %v", err)
-				os.Exit(1)
+			if jnl != nil {
+				// Fold the journal into a fresh snapshot so the next boot
+				// recovers fast, then close it cleanly.
+				if err := jnl.Compact(); err != nil {
+					log.Printf("gvrtd: journal compaction on shutdown: %v", err)
+				}
+				if err := jnl.Close(); err != nil {
+					log.Printf("gvrtd: closing journal: %v", err)
+					code = 1
+				}
 			}
-			fmt.Fprintf(os.Stderr, "gvrtd: state saved to %s\n", *stateFile)
-			os.Exit(0)
+			os.Exit(code)
 		}()
 	}
 

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"gvrt/internal/api"
+	"gvrt/internal/ckptlog"
 	"gvrt/internal/cluster"
 	"gvrt/internal/core"
 	"gvrt/internal/cudart"
@@ -207,14 +208,17 @@ type (
 
 // Fault injection points.
 const (
-	FaultTransportCall = faultinject.PointTransportCall
-	FaultClusterLink   = faultinject.PointClusterLink
-	FaultDeviceExec    = faultinject.PointDeviceExec
-	FaultDeviceDMA     = faultinject.PointDeviceDMA
-	FaultDeviceMalloc  = faultinject.PointDeviceMalloc
-	FaultSwapWrite     = faultinject.PointSwapWrite
-	FaultSwapAlloc     = faultinject.PointSwapAlloc
-	FaultDispatch      = faultinject.PointDispatch
+	FaultTransportCall   = faultinject.PointTransportCall
+	FaultClusterLink     = faultinject.PointClusterLink
+	FaultDeviceExec      = faultinject.PointDeviceExec
+	FaultDeviceDMA       = faultinject.PointDeviceDMA
+	FaultDeviceMalloc    = faultinject.PointDeviceMalloc
+	FaultSwapWrite       = faultinject.PointSwapWrite
+	FaultSwapAlloc       = faultinject.PointSwapAlloc
+	FaultDispatch        = faultinject.PointDispatch
+	FaultJournalPreSync  = faultinject.PointJournalPreSync
+	FaultJournalPostSync = faultinject.PointJournalPostSync
+	FaultJournalCompact  = faultinject.PointJournalCompact
 )
 
 // Fault actions.
@@ -225,7 +229,43 @@ const (
 	FaultActDrop       = faultinject.ActDrop
 	FaultActFailDevice = faultinject.ActFailDevice
 	FaultActPartition  = faultinject.ActPartition
+	FaultActCrash      = faultinject.ActCrash
 )
+
+// Crash-consistent checkpoint journal (DESIGN.md §9): an append-only,
+// CRC-framed record log that shadows the runtime's §4.6 checkpoint
+// state on disk, so committed sessions survive daemon kills, torn
+// writes and individually corrupt context images.
+type (
+	// Journal is an open checkpoint journal.
+	Journal = ckptlog.Journal
+	// JournalOptions tunes a journal (crash points, auto-compaction).
+	JournalOptions = ckptlog.Options
+	// JournalRecovered is the durable state OpenJournal reconstructed.
+	JournalRecovered = ckptlog.Recovered
+	// JournalQuarantine reports one context image recovery discarded.
+	JournalQuarantine = ckptlog.Quarantine
+	// JournalStats is a snapshot of a journal's counters.
+	JournalStats = ckptlog.Stats
+)
+
+// OpenJournal opens (creating if needed) a journal directory and
+// recovers its durable state: torn journal tails are truncated,
+// individually corrupt context images quarantined. Feed the recovered
+// state to Runtime.RecoverFromJournal, then Runtime.AttachJournal.
+func OpenJournal(dir string, opts JournalOptions) (*Journal, *JournalRecovered, error) {
+	return ckptlog.Open(dir, opts)
+}
+
+// JournalDie is the production OnCrash handler: SIGKILL the process at
+// the armed boundary, exactly as a power loss would.
+func JournalDie() { ckptlog.Die() }
+
+// ErrCorruptJournalSnapshot reports an unrecoverable journal: the
+// snapshot header itself is unreadable. Operators must intervene
+// (restore the directory or move it aside) — silently starting empty
+// would discard every committed session.
+var ErrCorruptJournalSnapshot = ckptlog.ErrCorruptSnapshot
 
 // NewFaultPlane arms a fault plan.
 func NewFaultPlane(plan FaultPlan) *FaultPlane { return faultinject.New(plan) }
@@ -291,6 +331,7 @@ var (
 const (
 	Success                 = api.Success
 	ErrMemoryAllocation     = api.ErrMemoryAllocation
+	ErrInvalidValue         = api.ErrInvalidValue
 	ErrInvalidDevicePointer = api.ErrInvalidDevicePointer
 	ErrLaunchFailure        = api.ErrLaunchFailure
 	ErrNoDevice             = api.ErrNoDevice
@@ -301,6 +342,8 @@ const (
 	ErrConnectionClosed     = api.ErrConnectionClosed
 	ErrDeadlineExceeded     = api.ErrDeadlineExceeded
 	ErrOverloaded           = api.ErrOverloaded
+	ErrSessionClaimed       = api.ErrSessionClaimed
+	ErrJournalFailure       = api.ErrJournalFailure
 )
 
 // ErrorCode extracts the result code from an error returned by the

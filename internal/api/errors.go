@@ -76,6 +76,16 @@ const (
 	// projected queue exceeds its hard cap and no peer can absorb the
 	// load, so the connection is refused instead of queued forever.
 	ErrOverloaded
+	// ErrSessionClaimed reports a Resume of a persisted session that
+	// another connection already re-attached to: exactly one client wins
+	// the race, every later claimant sees this code (distinct from
+	// ErrInvalidValue, which means the session never existed).
+	ErrSessionClaimed
+	// ErrJournalFailure reports that the durability journal could not
+	// persist a commit record: the operation's effects are NOT durable
+	// and a crash may lose them, so the runtime refuses to acknowledge
+	// the call as successful.
+	ErrJournalFailure
 )
 
 var errNames = map[Error]string{
@@ -96,6 +106,8 @@ var errNames = map[Error]string{
 	ErrConnectionClosed:     "connection closed",
 	ErrDeadlineExceeded:     "call deadline exceeded",
 	ErrOverloaded:           "node overloaded, admission refused",
+	ErrSessionClaimed:       "session already resumed by another connection",
+	ErrJournalFailure:       "durability journal write failed",
 }
 
 // Error implements the error interface. Success should never be wrapped

@@ -79,7 +79,6 @@ func (c *Context) waiterInfo() sched.Waiter {
 // newContext registers a fresh context with the runtime.
 func (rt *Runtime) newContext(label string) *Context {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	rt.nextCtx++
 	ctx := &Context{
 		id:         rt.nextCtx,
@@ -89,6 +88,10 @@ func (rt *Runtime) newContext(label string) *Context {
 		replayRefs: make(map[api.DevPtr]bool),
 	}
 	rt.ctxs[ctx.id] = ctx
+	rt.mu.Unlock()
+	if j := rt.journal; j != nil {
+		j.ContextCreated(ctx.id)
+	}
 	rt.event(trace.KindConnect, ctx.id, 0, -1, label)
 	return ctx
 }
@@ -202,6 +205,13 @@ func (rt *Runtime) handle(ctx *Context, call api.Call) api.Reply {
 		if err != nil || off != 0 || pte.CtxID() != ctx.id {
 			return api.Reply{Code: api.ErrInvalidDevicePointer}
 		}
+		// Freeing a buffer referenced by the replay log would make a
+		// later replay unresolvable; checkpoint first so the log empties.
+		if ctx.replayRefs[pte.Virtual] {
+			if cerr := rt.checkpoint(ctx); cerr != nil {
+				return api.Reply{Code: api.Code(cerr)}
+			}
+		}
 		err = rt.deviceOp(ctx, func() error {
 			return rt.mm.Free(pte, rt.boundOps(ctx))
 		})
@@ -244,6 +254,16 @@ func (rt *Runtime) handle(ctx *Context, call api.Call) api.Reply {
 		pte, off, err := rt.mm.Resolve(c.Src)
 		if err != nil || pte.CtxID() != ctx.id {
 			return api.Reply{Code: api.ErrInvalidDevicePointer}
+		}
+		// Reading a buffer a logged kernel references must checkpoint
+		// first: it regenerates lost device state on a resumed session
+		// (so the read cannot serve pre-kernel swap data) and empties
+		// the log before post-kernel bytes reach the swap area (so a
+		// later replay cannot re-apply the kernel to its own output).
+		if ctx.replayRefs[pte.Virtual] {
+			if cerr := rt.checkpoint(ctx); cerr != nil {
+				return api.Reply{Code: api.Code(cerr)}
+			}
 		}
 		var data []byte
 		err = rt.deviceOp(ctx, func() error {
@@ -344,6 +364,14 @@ func (rt *Runtime) memcpyDD(ctx *Context, c api.MemcpyDDCall) error {
 	if err != nil || dst.CtxID() != ctx.id {
 		return api.ErrInvalidDevicePointer
 	}
+	// Same checkpoint-first guards as MemcpyHD/MemcpyDH: reading src
+	// must not surface stale or double-replayable data, and writing dst
+	// must not corrupt a later replay.
+	if ctx.replayRefs[src.Virtual] || ctx.replayRefs[dst.Virtual] {
+		if cerr := rt.checkpoint(ctx); cerr != nil {
+			return cerr
+		}
+	}
 	var data []byte
 	if err := rt.deviceOp(ctx, func() error {
 		var e error
@@ -375,8 +403,21 @@ func (rt *Runtime) boundOps(ctx *Context) memmgr.DeviceOps {
 
 // checkpoint flushes the context's dirty entries to swap and clears the
 // replay log (§4.6): after it, the page table plus swap area fully
-// capture the device state.
+// capture the device state. With a journal attached, the flushed state
+// is also recorded as one atomic image record.
 func (rt *Runtime) checkpoint(ctx *Context) error {
+	rt.mu.Lock()
+	nr := ctx.needsRecovery
+	rt.mu.Unlock()
+	if nr && len(ctx.replay) > 0 {
+		// The device state the log describes is gone (device failure, or
+		// a session resumed after a daemon restart): regenerate it by
+		// replay before flushing — clearing the log instead would
+		// silently discard committed kernels.
+		if err := rt.recover(ctx); err != nil {
+			return err
+		}
+	}
 	if v := rt.boundVGPU(ctx); v != nil {
 		err := rt.deviceOp(ctx, func() error {
 			if v := rt.boundVGPU(ctx); v != nil {
@@ -391,7 +432,7 @@ func (rt *Runtime) checkpoint(ctx *Context) error {
 		rt.event(trace.KindCheckpoint, ctx.id, 0, v.ds.index, "")
 	}
 	ctx.clearReplay()
-	return nil
+	return rt.journalSnapshot(ctx.id)
 }
 
 func (ctx *Context) clearReplay() {

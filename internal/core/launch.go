@@ -115,6 +115,13 @@ func (rt *Runtime) launch(ctx *Context, call api.LaunchCall) error {
 		ctx.gpuTimeNS.Add(int64(kernelTime))
 		ctx.recordReplay(call)
 
+		// Write-ahead commit: the launch is only acknowledged once the
+		// journal has it durably; a failure here surfaces to the client
+		// instead of a success it could lose to a crash.
+		if err := rt.journalCommit(ctx, call); err != nil {
+			return err
+		}
+
 		if rt.cfg.AutoCheckpoint > 0 && kernelTime >= rt.cfg.AutoCheckpoint {
 			if err := rt.checkpoint(ctx); err != nil {
 				return err
@@ -348,6 +355,7 @@ func (rt *Runtime) interSwap(ctx *Context, v *vGPU, needed uint64) bool {
 			return false
 		}
 		victim.clearReplay() // fully swapped out == checkpointed
+		rt.journalSnapshotLogged(victim.id)
 		rt.mu.Lock()
 		victim.vgpu = nil
 		rt.releaseVGPULocked(slots[i])
@@ -378,6 +386,7 @@ func (rt *Runtime) unbindSelf(ctx *Context, v *vGPU) {
 		rt.mm.InvalidateResidency(ctx.id)
 	}
 	ctx.clearReplay()
+	rt.journalSnapshotLogged(ctx.id)
 	rt.mu.Lock()
 	if ctx.vgpu == v {
 		ctx.vgpu = nil

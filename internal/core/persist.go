@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
@@ -71,14 +72,29 @@ func (rt *Runtime) SaveState(w io.Writer) error {
 // RestoreState loads state written by SaveState into this (fresh)
 // runtime. Each restored context becomes an unclaimed session that a
 // reconnecting application thread re-attaches to via Client.Resume.
-func (rt *Runtime) RestoreState(r io.Reader) error {
+// The bytes may come from an untrusted or damaged file: every failure
+// mode — including a hostile gob stream that panics the decoder — is
+// reported as an error carrying api.ErrInvalidValue, never a crash.
+func (rt *Runtime) RestoreState(r io.Reader) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("core: decoding state panicked: %v: %w", p, api.ErrInvalidValue)
+		}
+	}()
 	var state stateFile
-	if err := gob.NewDecoder(r).Decode(&state); err != nil {
-		return fmt.Errorf("core: decoding state: %w", err)
+	if derr := gob.NewDecoder(r).Decode(&state); derr != nil {
+		return fmt.Errorf("core: decoding state: %v: %w", derr, api.ErrInvalidValue)
 	}
 	for _, img := range state.Images {
-		if err := rt.mm.ImportContext(img); err != nil {
-			return fmt.Errorf("core: importing ctx %d: %w", img.CtxID, err)
+		if img == nil {
+			return fmt.Errorf("core: state holds a nil context image: %w", api.ErrInvalidValue)
+		}
+		if ierr := rt.mm.ImportContext(img); ierr != nil {
+			var code api.Error
+			if !errors.As(ierr, &code) {
+				ierr = fmt.Errorf("%v: %w", ierr, api.ErrInvalidValue)
+			}
+			return fmt.Errorf("core: importing ctx %d: %w", img.CtxID, ierr)
 		}
 		rt.mu.Lock()
 		if rt.orphans == nil {
@@ -89,30 +105,66 @@ func (rt *Runtime) RestoreState(r io.Reader) error {
 			rt.nextCtx = img.CtxID
 		}
 		rt.mu.Unlock()
+		// With a journal attached, imported sessions become durable too.
+		if j := rt.journal; j != nil {
+			if jerr := j.SnapshotContext(img, nil); jerr != nil {
+				return fmt.Errorf("core: journaling imported ctx %d: %w", img.CtxID, jerr)
+			}
+		}
 	}
 	return nil
 }
 
 // resume re-attaches a fresh context to a persisted session. The
-// caller holds ctx.mu.
+// caller holds ctx.mu. Exactly one connection can win a session:
+// concurrent claimants of the same ID serialise on rt.mu, and every
+// loser sees the typed ErrSessionClaimed (a session that never existed
+// stays ErrInvalidValue).
 func (rt *Runtime) resume(ctx *Context, id int64) api.Error {
 	if rt.mm.UsageOf(ctx.id) != 0 {
 		// Resume must precede any allocation on this connection.
 		return api.ErrInvalidValue
 	}
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	if !rt.orphans[id] {
+		claimed := rt.claimed[id]
+		rt.mu.Unlock()
+		if claimed {
+			return api.ErrSessionClaimed
+		}
 		return api.ErrInvalidValue
 	}
 	if ctx.vgpu != nil || ctx.inWaiting {
+		rt.mu.Unlock()
 		return api.ErrInvalidValue
 	}
 	delete(rt.orphans, id)
+	if rt.claimed == nil {
+		rt.claimed = make(map[int64]bool)
+	}
+	rt.claimed[id] = true
 	delete(rt.ctxs, ctx.id)
+	oldID := ctx.id
 	ctx.id = id
 	rt.ctxs[id] = ctx
-	rt.logf("ctx resumed session %d", id)
+	pending := rt.orphanReplay[id]
+	delete(rt.orphanReplay, id)
+	if len(pending) > 0 {
+		// The kernels committed since the session's last checkpoint must
+		// re-run before their outputs are read; ensureBound and the
+		// checkpoint-first guards trigger the replay lazily (§4.6).
+		ctx.needsRecovery = true
+	}
+	rt.mu.Unlock()
+	for _, call := range pending {
+		ctx.recordReplay(call)
+	}
+	if j := rt.journal; j != nil {
+		// The empty pre-resume context will never be torn down under its
+		// old ID; retire it from the journal.
+		j.ContextReleased(oldID)
+	}
+	rt.logf("ctx resumed session %d (%d pending kernels)", id, len(pending))
 	return api.Success
 }
 

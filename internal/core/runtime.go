@@ -18,6 +18,7 @@ import (
 
 	"gvrt/internal/api"
 
+	"gvrt/internal/ckptlog"
 	"gvrt/internal/cudart"
 	"gvrt/internal/faultinject"
 	"gvrt/internal/gpu"
@@ -262,12 +263,23 @@ type Runtime struct {
 	// without a plan.
 	dispatchHook *faultinject.Hook
 
-	mu            sync.Mutex
-	cond          *sync.Cond
-	devs          []*deviceState
-	waiting       []*Context
-	ctxs          map[int64]*Context
-	orphans       map[int64]bool
+	// journal, when attached, shadows the durable checkpoint state on
+	// disk (see journal.go). Set once at boot, read without rt.mu.
+	journal *ckptlog.Journal
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	devs    []*deviceState
+	waiting []*Context
+	ctxs    map[int64]*Context
+	orphans map[int64]bool
+	// orphanReplay holds, per orphan session, the kernels committed
+	// after its last checkpoint; a Resume turns them back into the
+	// context's replay log.
+	orphanReplay map[int64][]api.LaunchCall
+	// claimed remembers sessions already resumed, so a second claimant
+	// gets the typed ErrSessionClaimed instead of "no such session".
+	claimed       map[int64]bool
 	nextCtx       int64
 	closed        bool
 	healthRunning bool

@@ -61,6 +61,17 @@ const (
 	// PointDispatch fires on each call entering the dispatcher;
 	// ActDelay models a scheduler stall.
 	PointDispatch Point = "core.dispatch"
+	// PointJournalPreSync fires in the checkpoint journal after record
+	// bytes reached the OS but before fsync: a crash here may leave a
+	// torn tail that recovery must truncate.
+	PointJournalPreSync Point = "ckptlog.presync"
+	// PointJournalPostSync fires right after the journal's fsync
+	// returned: a crash here loses nothing that was acknowledged.
+	PointJournalPostSync Point = "ckptlog.postsync"
+	// PointJournalCompact fires inside snapshot compaction, once after
+	// the temporary snapshot is written and synced (before the atomic
+	// rename) and once after the rename (before the journal truncates).
+	PointJournalCompact Point = "ckptlog.compact"
 )
 
 // Action is what a fired rule does to the operation.
@@ -84,6 +95,11 @@ const (
 	// ActPartition severs a cluster peer link stickily: the current and
 	// all later uses of the link fail until the hook is healed.
 	ActPartition
+	// ActCrash asks the site to die on the spot — the checkpoint
+	// journal's crash points translate it into a SIGKILL of the whole
+	// process (or a configured stand-in), modeling a power loss exactly
+	// at that boundary.
+	ActCrash
 )
 
 var actionNames = [...]string{
@@ -93,6 +109,7 @@ var actionNames = [...]string{
 	ActDrop:       "drop",
 	ActFailDevice: "fail-device",
 	ActPartition:  "partition",
+	ActCrash:      "crash",
 }
 
 // String implements fmt.Stringer.
@@ -158,6 +175,9 @@ type Decision struct {
 	FailDevice bool
 	// Drop asks a transport site to tear the connection down.
 	Drop bool
+	// Crash asks the site to kill the process immediately (the journal's
+	// armed crash points).
+	Crash bool
 }
 
 // Fired is one entry of the fault schedule: rule r of the plan fired at
@@ -365,6 +385,8 @@ func (h *Hook) Check() Decision {
 		case ActPartition:
 			d.Drop = true
 			h.down = true
+		case ActCrash:
+			d.Crash = true
 		}
 	}
 	if h.down && !fired {

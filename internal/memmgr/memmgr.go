@@ -153,6 +153,10 @@ type Manager struct {
 	swapWriteHook *faultinject.Hook
 	swapAllocHook *faultinject.Hook
 
+	// obs shadows every durable-state mutation (see Observer); nil when
+	// no journal is attached.
+	obs Observer
+
 	swapOps    atomic.Int64
 	swapBytes  atomic.Int64
 	coalesced  atomic.Int64
@@ -228,18 +232,23 @@ func (m *Manager) Malloc(ctxID int64, size uint64, kind Kind) (api.DevPtr, error
 		}
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.hostLimit > 0 && m.hostUsed+size > m.hostLimit {
+		m.mu.Unlock()
 		return 0, api.ErrSwapAllocation
 	}
 	off := m.next[ctxID]
 	// Align entries to 256 bytes like device allocations.
 	m.next[ctxID] = off + (size+255)&^uint64(255)
+	nextOff := m.next[ctxID]
 	v := api.DevPtr(virtTag | uint64(ctxID)<<ctxShift | off)
 	pte := &PTE{Virtual: v, Size: size, Kind: kind, ctxID: ctxID}
 	m.tables[ctxID] = append(m.tables[ctxID], pte)
 	m.usage[ctxID] += size
 	m.hostUsed += size
+	m.mu.Unlock()
+	if m.obs != nil {
+		m.obs.EntryWritten(ctxID, pte.image(), nextOff)
+	}
 	return v, nil
 }
 
@@ -339,10 +348,12 @@ func (m *Manager) CopyHD(pte *PTE, off uint64, data []byte, size uint64, ops Dev
 			return err
 		}
 		pte.ToCopy2Dev = false
+		m.noteWrite(pte)
 		return nil
 	}
 	pte.ToCopy2Dev = true
 	pte.writesSinceResident++
+	m.noteWrite(pte)
 	return nil
 }
 
@@ -382,10 +393,12 @@ func (m *Manager) Memset(pte *PTE, off uint64, value byte, size uint64, ops Devi
 			return err
 		}
 		pte.ToCopy2Dev = false
+		m.noteWrite(pte)
 		return nil
 	}
 	pte.ToCopy2Dev = true
 	pte.writesSinceResident++
+	m.noteWrite(pte)
 	return nil
 }
 
@@ -432,6 +445,7 @@ func (m *Manager) syncToSwap(pte *PTE, ops DeviceOps) error {
 		}
 	}
 	pte.ToCopy2Swap = false
+	m.noteWrite(pte)
 	return nil
 }
 
@@ -447,18 +461,26 @@ func (m *Manager) Free(pte *PTE, ops DeviceOps) error {
 	pte.IsAllocated = false
 	pte.Device = 0
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	removed := false
 	tbl := m.tables[pte.ctxID]
 	for i, e := range tbl {
 		if e == pte {
 			m.tables[pte.ctxID] = append(tbl[:i], tbl[i+1:]...)
 			m.usage[pte.ctxID] -= pte.Size
 			m.hostUsed -= pte.Size
-			return nil
+			removed = true
+			break
 		}
 	}
-	m.badOps.Add(1)
-	return api.ErrInvalidDevicePointer
+	m.mu.Unlock()
+	if !removed {
+		m.badOps.Add(1)
+		return api.ErrInvalidDevicePointer
+	}
+	if m.obs != nil {
+		m.obs.EntryFreed(pte.ctxID, pte.Virtual)
+	}
+	return nil
 }
 
 // RegisterNested records a nested structure (§4.5 "nested" attribute):
@@ -709,9 +731,12 @@ func (m *Manager) ReleaseContext(ctxID int64, ops DeviceOps) {
 		}
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.hostUsed -= m.usage[ctxID]
 	delete(m.tables, ctxID)
 	delete(m.usage, ctxID)
 	delete(m.next, ctxID)
+	m.mu.Unlock()
+	if m.obs != nil {
+		m.obs.ContextReleased(ctxID)
+	}
 }

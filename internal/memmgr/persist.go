@@ -51,20 +51,7 @@ func (m *Manager) ExportContext(ctxID int64) (*ContextImage, error) {
 		if pte.ToCopy2Swap {
 			return nil, fmt.Errorf("memmgr: entry %#x has device-only data; checkpoint before export", uint64(pte.Virtual))
 		}
-		e := EntryImage{
-			Virtual: pte.Virtual,
-			Size:    pte.Size,
-			Kind:    pte.Kind,
-			HasData: pte.data != nil,
-		}
-		if pte.data != nil {
-			e.Data = append([]byte(nil), pte.data...)
-		}
-		if pte.Nested != nil {
-			e.NestedMembers = append([]api.DevPtr(nil), pte.Nested.Members...)
-			e.NestedOffsets = append([]uint64(nil), pte.Nested.Offsets...)
-		}
-		img.Entries = append(img.Entries, e)
+		img.Entries = append(img.Entries, pte.image())
 	}
 	return img, nil
 }
