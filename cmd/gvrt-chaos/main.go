@@ -83,6 +83,7 @@ func main() {
 		planName = flag.String("plan", "storm", "fault plan: storm | memory | none")
 		scale    = flag.Float64("scale", 1e-7, "wall seconds per model second")
 		traceN   = flag.Int("trace", 24, "trace-ring events to print in the post-mortem")
+		perfetto = flag.String("perfetto", "", "write the run's spans and events as Chrome trace-event JSON here (load at ui.perfetto.dev)")
 		timeout  = flag.Duration("timeout", 60*time.Second, "wall-time watchdog before declaring a hang")
 
 		torture         = flag.Bool("torture", false, "crash-torture mode: SIGKILL a journal-backed daemon at armed crash points and verify every committed session recovers")
@@ -110,6 +111,10 @@ func main() {
 	rec := gvrt.NewTraceRecorder(4096)
 
 	clock := gvrt.NewClock(*scale)
+	// Record each fired fault as a zero-length span, so a Perfetto
+	// export of a replayed seed lines the injected faults up against
+	// the recovery spans they triggered.
+	plane.SetTrace(rec, clock.Now)
 	spec := gvrt.DeviceSpec{Name: "chaos-gpu", SMs: 4, CoresPerSM: 8, ClockMHz: 1000,
 		MemBytes: 1 << 20, Speed: 1, BandwidthBps: 1 << 40}
 	devs := make([]*gvrt.Device, *devices)
@@ -196,12 +201,41 @@ func main() {
 		recovered = recoveryVerdict(node, devs, rec)
 	}
 
+	exported := true
+	if *perfetto != "" {
+		if err := writePerfetto(*perfetto, plan.Name, *seed, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "gvrt-chaos: perfetto export: %v\n", err)
+			exported = false
+		} else {
+			fmt.Printf("\nperfetto trace written to %s (%d spans, %d events) — load at ui.perfetto.dev\n",
+				*perfetto, len(rec.Spans()), len(rec.Snapshot()))
+		}
+	}
+
 	fmt.Printf("\nreproduce this exact run: gvrt-chaos -plan %s -seed %d (or GVRT_CHAOS_SEED=%d)\n",
 		plan.Name, *seed, *seed)
 
-	if hung || failedDirty.Load() > 0 || !recovered || !replayed {
+	if hung || failedDirty.Load() > 0 || !recovered || !replayed || !exported {
 		os.Exit(1)
 	}
+}
+
+// writePerfetto renders the trace ring — phase spans, fault spans and
+// instant events — as Chrome trace-event JSON.
+func writePerfetto(path, planName string, seed int64, rec *gvrt.TraceRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := gvrt.WriteChromeTrace(f, gvrt.ChromeProcess{
+		Name:   fmt.Sprintf("gvrt-chaos plan %s seed %d", planName, seed),
+		Spans:  rec.Spans(),
+		Events: rec.Snapshot(),
+	})
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // replayVerified checks the determinism invariant behind seed replay:

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"time"
 
 	"gvrt"
 )
@@ -64,6 +66,23 @@ func main() {
 			fmt.Printf("  gpu%d %-12s healthy=%-5v vgpus=%d/%d busy=%.1fs mem=%d/%dMB launches=%d\n",
 				d.Index, d.Name, d.Healthy, d.ActiveVGPUs, d.VGPUs,
 				float64(d.BusyNS)/1e9, d.MemAvailable>>20, d.Capacity>>20, d.Launches)
+		}
+		if len(st.Histograms) > 0 {
+			keys := make([]string, 0, len(st.Histograms))
+			for k := range st.Histograms {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Printf("  %-26s %9s %12s %12s\n", "histogram", "count", "p50", "p99")
+			for _, k := range keys {
+				h := st.Histograms[k]
+				if k == "swap_bytes" {
+					fmt.Printf("  %-26s %9d %12d %12d (bytes)\n", k, h.Count, h.Quantile(0.5), h.Quantile(0.99))
+					continue
+				}
+				fmt.Printf("  %-26s %9d %12v %12v\n", k, h.Count,
+					time.Duration(h.Quantile(0.5)), time.Duration(h.Quantile(0.99)))
+			}
 		}
 		return
 	}

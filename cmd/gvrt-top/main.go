@@ -1,0 +1,167 @@
+// Command gvrt-top is a terminal dashboard for a gvrtd daemon: it
+// polls the daemon's metrics snapshot (the same StatsCall a cluster
+// scheduler would use) and renders per-device utilization, swap and
+// launch rates, and interval latency percentiles computed from the
+// runtime's histogram deltas.
+//
+// Usage:
+//
+//	gvrt-top -addr localhost:7070                 # refresh every 2s
+//	gvrt-top -addr localhost:7070 -interval 500ms
+//	gvrt-top -addr localhost:7070 -once           # one snapshot, no TUI
+//	gvrt-top -addr localhost:7070 -count 10       # ten frames, then exit
+//
+// Rates and percentiles are computed over the polling interval, so a
+// burst of launches shows up as a p99 spike in the frame it happened,
+// not averaged away since daemon boot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"gvrt"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:7070", "gvrtd daemon address")
+		interval = flag.Duration("interval", 2*time.Second, "refresh interval (wall time)")
+		once     = flag.Bool("once", false, "print one frame and exit (no screen clearing)")
+		count    = flag.Int("count", 0, "exit after this many frames (0 = run until interrupted)")
+	)
+	flag.Parse()
+
+	conn, err := gvrt.Dial(*addr)
+	if err != nil {
+		log.Fatalf("gvrt-top: %v", err)
+	}
+	c := gvrt.Connect(conn)
+	defer c.Close()
+
+	var prev gvrt.RuntimeStats
+	havePrev := false
+	frames := 0
+	for {
+		st, err := c.Stats()
+		if err != nil {
+			log.Fatalf("gvrt-top: stats: %v", err)
+		}
+		frame := render(*addr, st, prev, havePrev, *interval)
+		if !*once {
+			// ANSI home + clear-below keeps the frame flicker-free.
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		os.Stdout.WriteString(frame)
+		prev, havePrev = st, true
+		frames++
+		if *once || (*count > 0 && frames >= *count) {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// render draws one frame. It is a pure function of two snapshots so
+// the layout is unit-testable without a daemon.
+func render(addr string, st, prev gvrt.RuntimeStats, havePrev bool, interval time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gvrt-top — %s — %s\n\n", addr, time.Now().Format("15:04:05"))
+	fmt.Fprintf(&b, "queue %d  contexts %d  calls %d  binds %d  swaps %d  migrations %d  recoveries %d  offloaded %d  sheds %d\n",
+		st.QueueDepth, st.LiveContexts, st.CallsServed, st.Binds,
+		st.SwapOps, st.Migrations, st.Recoveries, st.Offloaded, st.Sheds)
+	if havePrev {
+		secs := interval.Seconds()
+		if secs <= 0 {
+			secs = 1
+		}
+		fmt.Fprintf(&b, "rates: %.1f calls/s  %.1f launches/s  %.1f swap MB/s\n",
+			float64(st.CallsServed-prev.CallsServed)/secs,
+			float64(launches(st)-launches(prev))/secs,
+			float64(st.SwapBytes-prev.SwapBytes)/secs/1e6)
+	}
+
+	b.WriteString("\nDEV MODEL        STATE    VGPU       UTIL  LAUNCH      MEM\n")
+	for i, d := range st.Devices {
+		state := "healthy"
+		if !d.Healthy {
+			state = "FAILED"
+		}
+		util := 0.0
+		if havePrev && i < len(prev.Devices) {
+			// Busy delta over the interval in model time; the daemon's
+			// model clock may run faster than wall time, so clamp to 100%.
+			dBusy := float64(d.BusyNS - prev.Devices[i].BusyNS)
+			util = dBusy / float64(interval.Nanoseconds()) * 100
+			if util > 100 {
+				util = 100
+			}
+		}
+		fmt.Fprintf(&b, "%-3d %-12s %-8s %2d/%-2d %s %5.1f%% %7d %4d/%dMB\n",
+			d.Index, d.Name, state, d.ActiveVGPUs, d.VGPUs,
+			bar(util, 10), util, d.Launches,
+			(d.Capacity-d.MemAvailable)>>20, d.Capacity>>20)
+	}
+
+	if len(st.Histograms) > 0 {
+		fmt.Fprintf(&b, "\n%-26s %9s %12s %12s", "LATENCY", "count", "p50", "p99")
+		if havePrev {
+			fmt.Fprintf(&b, "   %9s %12s %12s", "Δcount", "Δp50", "Δp99")
+		}
+		b.WriteByte('\n')
+		keys := make([]string, 0, len(st.Histograms))
+		for k := range st.Histograms {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h := st.Histograms[k]
+			fmt.Fprintf(&b, "%-26s %9d %12s %12s", k, h.Count,
+				fmtVal(k, h.Quantile(0.5)), fmtVal(k, h.Quantile(0.99)))
+			if havePrev {
+				d := h.Delta(prev.Histograms[k])
+				if d.Count > 0 {
+					fmt.Fprintf(&b, "   %9d %12s %12s", d.Count,
+						fmtVal(k, d.Quantile(0.5)), fmtVal(k, d.Quantile(0.99)))
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// launches sums per-device launch counters.
+func launches(st gvrt.RuntimeStats) int64 {
+	var n int64
+	for _, d := range st.Devices {
+		n += d.Launches
+	}
+	return n
+}
+
+// fmtVal renders a histogram value in its unit: bytes for swap_bytes,
+// model-time duration otherwise.
+func fmtVal(key string, v int64) string {
+	if key == "swap_bytes" {
+		return fmt.Sprintf("%dB", v)
+	}
+	return time.Duration(v).String()
+}
+
+// bar renders a width-cell utilization bar.
+func bar(pct float64, width int) string {
+	filled := int(pct / 100 * float64(width))
+	if filled > width {
+		filled = width
+	}
+	if filled < 0 {
+		filled = 0
+	}
+	return "[" + strings.Repeat("|", filled) + strings.Repeat(" ", width-filled) + "]"
+}

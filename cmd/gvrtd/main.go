@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io/fs"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -90,6 +91,8 @@ func main() {
 		autoCkpt  = flag.Duration("auto-checkpoint", 0, "checkpoint after kernels at least this long (model time; 0 = off)")
 		stateFile = flag.String("state", "", "persist runtime state here on SIGINT/SIGTERM and restore it at startup (node-restart support)")
 		journal   = flag.String("journal", "", "crash-consistent checkpoint journal directory: committed sessions survive even a SIGKILL")
+		httpAddr  = flag.String("http", "", "HTTP operator plane address (/metrics, /statusz, /tracez, /trace.json, /debug/pprof); empty = off")
+		traceCap  = flag.Int("trace-buffer", 4096, "events/spans retained for the operator plane's trace views")
 		verbose   = flag.Bool("v", false, "log runtime events")
 	)
 	flag.Parse()
@@ -123,6 +126,11 @@ func main() {
 		cfg.Logf = func(format string, args ...any) {
 			log.Printf("gvrtd: "+format, args...)
 		}
+	}
+	// The operator plane's /tracez and /trace.json need a recorder;
+	// arming it only with -http keeps the zero-observer fast path.
+	if *httpAddr != "" {
+		cfg.Trace = gvrt.NewTraceRecorder(*traceCap)
 	}
 
 	node, err := gvrt.NewLocalNode(gvrt.NewClock(*scale), cfg, specs...)
@@ -229,6 +237,16 @@ func main() {
 			}
 			os.Exit(code)
 		}()
+	}
+
+	if *httpAddr != "" {
+		addr := *httpAddr
+		go func() {
+			if err := http.ListenAndServe(addr, gvrt.OpsHandlerFor(node.RT, "gvrtd "+*listen)); err != nil {
+				log.Printf("gvrtd: operator plane on %s: %v", addr, err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "gvrtd: operator plane on http://%s (/metrics /statusz /tracez /trace.json /debug/pprof)\n", addr)
 	}
 
 	fmt.Fprintf(os.Stderr, "gvrtd: serving %d GPUs (%d vGPUs) on %s (scale %g)\n",

@@ -41,6 +41,8 @@
 package gvrt
 
 import (
+	"io"
+	"net/http"
 	"time"
 
 	"gvrt/internal/api"
@@ -52,6 +54,7 @@ import (
 	"gvrt/internal/frontend"
 	"gvrt/internal/gpu"
 	"gvrt/internal/memmgr"
+	"gvrt/internal/opserver"
 	"gvrt/internal/resilience"
 	"gvrt/internal/sched"
 	"gvrt/internal/sim"
@@ -115,6 +118,9 @@ type (
 	// RuntimeStats is the wire form of a daemon's metrics snapshot
 	// (Client.Stats).
 	RuntimeStats = api.RuntimeStats
+	// DeviceWireStats is the per-device slice of RuntimeStats. (The
+	// richer local view of a gpu.Device is DeviceStats.)
+	DeviceWireStats = api.DeviceStats
 	// Conn is the client side of a runtime connection.
 	Conn = transport.Conn
 	// ServerConn is the runtime side of a connection.
@@ -185,9 +191,58 @@ const (
 	TraceExit        = trace.KindExit
 )
 
+// Causal-span and histogram types (DESIGN.md §10): a Runtime with a
+// TraceRecorder decomposes every served call into parented phase spans
+// (queue-wait, bind, swap-in, h2d, launch, ...), and always records
+// log2-bucketed latency histograms served in RuntimeStats.Histograms.
+type (
+	// Span is one timed phase of runtime work, in model time.
+	Span = trace.Span
+	// SpanID identifies a Span; it travels across offload hops so a
+	// peer's spans parent to the head node's offload span.
+	SpanID = trace.SpanID
+	// HistSnapshot is a point-in-time copy of a latency histogram
+	// (RuntimeStats.Histograms values); Delta + Quantile give interval
+	// percentiles.
+	HistSnapshot = trace.HistSnapshot
+	// ChromeProcess groups one node's spans and events for
+	// WriteChromeTrace.
+	ChromeProcess = trace.ChromeProcess
+)
+
 // NewTraceRecorder creates a recorder retaining the most recent
 // capacity events.
 func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
+
+// WriteChromeTrace renders spans and events as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing. Pass one
+// ChromeProcess per node; parent links that cross nodes (offload hops)
+// are drawn as flow arrows.
+func WriteChromeTrace(w io.Writer, procs ...ChromeProcess) error {
+	return trace.WriteChromeTrace(w, procs...)
+}
+
+// HistogramBucketBound returns the exclusive upper bound of log2
+// histogram bucket i, shared by every HistSnapshot.
+func HistogramBucketBound(i int) int64 { return trace.BucketBound(i) }
+
+// OpsSource is the slice of a runtime the HTTP operator plane reads.
+type OpsSource = opserver.Source
+
+// NewOpsHandler builds the HTTP operator plane (/metrics Prometheus
+// text, /statusz, /tracez, /trace.json, /debug/pprof) from a source.
+func NewOpsHandler(src OpsSource) http.Handler { return opserver.Handler(src) }
+
+// OpsHandlerFor builds the operator plane for a runtime; name labels
+// the process in /trace.json exports.
+func OpsHandlerFor(rt *Runtime, name string) http.Handler {
+	return opserver.Handler(opserver.Source{
+		Stats: rt.StatsSnapshot,
+		Trace: rt.TraceRecorder(),
+		Now:   rt.Clock().Now,
+		Name:  name,
+	})
+}
 
 // Fault-injection types: arm Config.Faults with a FaultPlane built from
 // a seeded FaultPlan and the runtime injects deterministic, replayable

@@ -1,6 +1,10 @@
 package api
 
-import "encoding/gob"
+import (
+	"encoding/gob"
+
+	"gvrt/internal/trace"
+)
 
 // StatsCall asks a runtime daemon for its metrics snapshot — the
 // operator-facing view of what the node is doing (the information §2
@@ -48,6 +52,11 @@ type RuntimeStats struct {
 	QueueDepth     int           `json:"queue_depth"`
 	LiveContexts   int           `json:"live_contexts"`
 	Devices        []DeviceStats `json:"devices"`
+	// Histograms carries latency/size distributions keyed by metric
+	// name ("launch_latency", "queue_wait", "call.cudaLaunch", ...).
+	// Values are model-time nanoseconds except journal_commit_wall
+	// (wall nanoseconds) and swap_bytes (bytes).
+	Histograms map[string]trace.HistSnapshot `json:"histograms,omitempty"`
 }
 
 func init() {

@@ -171,18 +171,23 @@ func (n *Node) dialPeer() (transport.Conn, error) {
 	// breaker (timeouts and drops mid-stream trip it too).
 	conn := transport.WithFaults(c, n.link, n.clock.Sleep)
 	conn = transport.WithDeadline(conn, n.clock, DefaultPeerCallDeadline)
-	return &observedConn{inner: conn, breaker: n.breaker}, nil
+	return &observedConn{inner: conn, breaker: n.breaker, now: n.clock.Now, note: n.RT.NotePeerCall}, nil
 }
 
 // observedConn feeds every call outcome on a peer connection to the
-// link's circuit breaker.
+// link's circuit breaker and its model-time round trip to the node's
+// peer-call latency histogram.
 type observedConn struct {
 	inner   transport.Conn
 	breaker *resilience.Breaker
+	now     func() time.Duration
+	note    func(time.Duration)
 }
 
 func (o *observedConn) Call(call api.Call) (api.Reply, error) {
+	start := o.now()
 	r, err := o.inner.Call(call)
+	o.note(o.now() - start)
 	if err != nil {
 		o.breaker.Failure()
 	} else {

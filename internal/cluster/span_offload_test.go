@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+
+	"gvrt/internal/core"
+	"gvrt/internal/trace"
+	"gvrt/internal/workload"
+)
+
+// TestOffloadSpansCrossHop proves the causal chain survives an offload
+// hop: the overloaded node records an "offload" span per proxied
+// connection and stamps its ID onto every forwarded call, so the spans
+// the serving peer records carry that ID as their parent — one merged
+// trace shows which remote work a hop caused.
+func TestOffloadSpansCrossHop(t *testing.T) {
+	recA := trace.NewRecorder(2048)
+	recB := trace.NewRecorder(2048)
+	cfgA := core.Config{CallOverhead: -1, VGPUsPerDevice: 1, Trace: recA}
+	cfgB := core.Config{CallOverhead: -1, VGPUsPerDevice: 1, OffloadThreshold: 2, Trace: recB}
+	_, a, b, clock := newTestCluster(t, cfgA, cfgB)
+
+	// Batch arrival (as in TestOffloadRebalancesUnbalancedCluster) so
+	// node B actually overloads and offloads to A.
+	const n = 16
+	barrier := make(chan struct{})
+	var connected atomic.Int32
+	nodes := []*Node{a, b}
+	res := workload.RunBatch(clock, fastApps(n), func(i int) (workload.CUDA, error) {
+		c, err := nodes[i%2].Connect()
+		if connected.Add(1) == n {
+			close(barrier)
+		}
+		<-barrier
+		return c, err
+	})
+	if res.Failed() != 0 {
+		t.Fatalf("failures: %v", res.Errors)
+	}
+	if b.RT.Metrics().Offloaded == 0 {
+		t.Fatal("node B never offloaded; the test premise is gone")
+	}
+
+	// Collect node B's offload span IDs and check node A parents call
+	// spans to them.
+	offloadIDs := make(map[trace.SpanID]bool)
+	for _, s := range recB.Spans() {
+		if s.Phase == "offload" {
+			if s.ID == 0 {
+				t.Fatal("offload span recorded without an ID")
+			}
+			offloadIDs[s.ID] = true
+		}
+	}
+	if len(offloadIDs) == 0 {
+		t.Fatal("no offload spans on the overloaded node")
+	}
+	crossed := 0
+	for _, s := range recA.Spans() {
+		if offloadIDs[s.Parent] {
+			crossed++
+		}
+	}
+	if crossed == 0 {
+		t.Fatalf("no span on node A is parented to node B's %d offload spans (parent lost crossing the wire)", len(offloadIDs))
+	}
+
+	// A merged two-process export must be valid JSON and draw the
+	// cross-node parent links as flow ("s"/"f") arrow pairs.
+	var buf bytes.Buffer
+	err := trace.WriteChromeTrace(&buf,
+		trace.ChromeProcess{Name: "node-b", Spans: recB.Spans(), Events: recB.Snapshot()},
+		trace.ChromeProcess{Name: "node-a", Spans: recA.Spans(), Events: recA.Snapshot()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			PID  int    `json:"pid"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged export is not valid JSON: %v", err)
+	}
+	var flowStart, flowEnd, procs int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "s":
+			flowStart++
+		case "f":
+			flowEnd++
+		case "M":
+			procs++
+		}
+	}
+	if procs != 2 {
+		t.Errorf("merged export has %d process rows, want 2", procs)
+	}
+	if flowStart == 0 || flowStart != flowEnd {
+		t.Errorf("flow arrows: %d starts, %d ends; want a matched non-zero pairing", flowStart, flowEnd)
+	}
+}

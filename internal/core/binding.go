@@ -17,6 +17,20 @@ import (
 // both the device (when several have a free vGPU) and, on release, the
 // next waiter.
 func (rt *Runtime) bind(ctx *Context) error {
+	sp := rt.beginSpan("bind", ctx.id, ctx.curSpan)
+	start := rt.clock.Now()
+	err := rt.bindWait(ctx)
+	rt.timings.BindWait.Observe(int64(rt.clock.Now() - start))
+	dev := -1
+	if v := rt.boundVGPU(ctx); err == nil && v != nil {
+		dev = v.ds.index
+	}
+	sp.endIfTimed(dev, "", err)
+	return err
+}
+
+// bindWait is bind's blocking body.
+func (rt *Runtime) bindWait(ctx *Context) error {
 	rt.mu.Lock()
 	for {
 		if rt.closed {
@@ -39,10 +53,14 @@ func (rt *Runtime) bind(ctx *Context) error {
 		ctx.inWaiting = true
 		ctx.granted = nil
 		ctx.arrived = rt.clock.Now()
+		qsp := rt.beginSpan("queue-wait", ctx.id, ctx.curSpan)
 		rt.waiting = append(rt.waiting, ctx)
 		for ctx.granted == nil && !rt.closed {
 			rt.cond.Wait()
 		}
+		waited := rt.clock.Now() - ctx.arrived
+		rt.timings.QueueWait.Observe(int64(waited))
+		qsp.end(-1, "", nil)
 		v := ctx.granted
 		ctx.granted = nil
 		if rt.closed {

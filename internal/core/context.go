@@ -50,6 +50,10 @@ type Context struct {
 	// scheduling because their kernels allocate device memory
 	// dynamically (§1).
 	pinned bool
+	// curSpan is the in-flight call's root span ID; phase children
+	// (queue-wait, bind, swap-in, launch, recovery) parent to it. Only
+	// the dispatcher goroutine reads or writes it.
+	curSpan trace.SpanID
 
 	gpuTimeNS    atomic.Int64
 	nextKernelNS atomic.Int64
@@ -113,6 +117,17 @@ func (rt *Runtime) ServeLabeled(sc transport.ServerConn, label string) {
 		if err != nil {
 			return
 		}
+		// A forwarding hop (offload proxy) wraps calls with its span ID
+		// so this node's call spans parent across the wire; unwrap
+		// before dispatch so handlers see the plain call.
+		var remoteParent trace.SpanID
+		if w, ok := call.(api.WithSpan); ok {
+			var p uint64
+			call, p = w.Unwrap()
+			remoteParent = trace.SpanID(p)
+		}
+		served := rt.clock.Now()
+		sp := rt.beginSpan("call."+call.CallName(), ctx.id, remoteParent)
 		// Framework overhead: interception, queuing, scheduling (§5:
 		// "all the overheads introduced by our framework").
 		rt.clock.Sleep(rt.cfg.overhead())
@@ -124,7 +139,6 @@ func (rt *Runtime) ServeLabeled(sc transport.ServerConn, label string) {
 			}
 		}
 		rt.calls.Add(1)
-
 		reply := func() api.Reply {
 			// The service lock is released via defer so that even a
 			// panic escaping a handler cannot leave the context locked
@@ -132,8 +146,12 @@ func (rt *Runtime) ServeLabeled(sc transport.ServerConn, label string) {
 			ctx.mu.Lock()
 			defer ctx.mu.Unlock()
 			defer ctx.lastActiveNS.Store(int64(rt.clock.Now()))
+			ctx.curSpan = sp.id()
+			defer func() { ctx.curSpan = 0 }()
 			return rt.handle(ctx, call)
 		}()
+		sp.end(-1, "", reply.Code.Err())
+		rt.timings.Call.Observe(call.CallName(), int64(rt.clock.Now()-served))
 
 		if err := sc.Reply(reply); err != nil {
 			return
@@ -405,7 +423,9 @@ func (rt *Runtime) boundOps(ctx *Context) memmgr.DeviceOps {
 // replay log (§4.6): after it, the page table plus swap area fully
 // capture the device state. With a journal attached, the flushed state
 // is also recorded as one atomic image record.
-func (rt *Runtime) checkpoint(ctx *Context) error {
+func (rt *Runtime) checkpoint(ctx *Context) (err error) {
+	sp := rt.beginSpan("checkpoint", ctx.id, ctx.curSpan)
+	defer func() { sp.endIfTimed(-1, "", err) }()
 	rt.mu.Lock()
 	nr := ctx.needsRecovery
 	rt.mu.Unlock()

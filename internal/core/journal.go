@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"gvrt/internal/api"
 	"gvrt/internal/ckptlog"
@@ -122,7 +123,12 @@ func (rt *Runtime) journalCommit(ctx *Context, call api.LaunchCall) error {
 	if rt.journal == nil {
 		return nil
 	}
-	if err := rt.journal.KernelCommitted(ctx.id, call); err != nil {
+	// Commit cost is real wall time (fsync), not model time — recorded
+	// in its own histogram so operators see the durability tax.
+	wallStart := time.Now()
+	err := rt.journal.KernelCommitted(ctx.id, call)
+	rt.timings.JournalCommitWall.Observe(time.Since(wallStart).Nanoseconds())
+	if err != nil {
 		rt.logf("ctx %d: kernel commit not durable, refusing ack: %v", ctx.id, err)
 		return err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"gvrt/internal/api"
@@ -16,6 +17,10 @@ import (
 
 // launch services a cudaLaunch. The caller holds ctx.mu.
 func (rt *Runtime) launch(ctx *Context, call api.LaunchCall) error {
+	launchStart := rt.clock.Now()
+	defer func() {
+		rt.timings.Launch.Observe(int64(rt.clock.Now() - launchStart))
+	}()
 	meta, _, err := ctx.findKernel(call.Kernel)
 	if err != nil {
 		return err
@@ -65,7 +70,10 @@ func (rt *Runtime) launch(ctx *Context, call api.LaunchCall) error {
 		}
 		v := rt.boundVGPU(ctx)
 
-		switch err := rt.ensureResident(ctx, v, ptes); {
+		rsp := rt.beginSpan("swap-in", ctx.id, ctx.curSpan)
+		resErr := rt.ensureResident(ctx, v, ptes)
+		rsp.endIfTimed(v.ds.index, "", resErr)
+		switch err := resErr; {
 		case err == nil:
 			// Residency achieved; run the kernel.
 		case errors.Is(err, api.ErrDeviceUnavailable):
@@ -95,7 +103,9 @@ func (rt *Runtime) launch(ctx *Context, call api.LaunchCall) error {
 		for i, pte := range ptes {
 			devCall.PtrArgs[i] = pte.Device + api.DevPtr(offs[i])
 		}
+		esp := rt.beginSpan("launch", ctx.id, ctx.curSpan)
 		err := v.cuctx.Launch(devCall)
+		esp.end(v.ds.index, call.Kernel, err)
 		if errors.Is(err, api.ErrDeviceUnavailable) {
 			// The device died under this kernel. Mark it failed before
 			// recovering: recovery only re-binds once the runtime knows
@@ -430,7 +440,12 @@ func (rt *Runtime) onDeviceFailure(ds *deviceState) {
 // (§4.6; the page table + swap area are the implicit checkpoint, and —
 // unlike NVCR — only the memory operations required by not-yet-executed
 // kernels are replayed, lazily via the ToCopy2Dev flags).
-func (rt *Runtime) recover(ctx *Context) error {
+func (rt *Runtime) recover(ctx *Context) (err error) {
+	sp := rt.beginSpan("recovery", ctx.id, ctx.curSpan)
+	replayed := 0
+	defer func() {
+		sp.end(-1, fmt.Sprintf("%d kernels replayed", replayed), err)
+	}()
 	rt.mu.Lock()
 	if v := ctx.vgpu; v != nil && (v.dead || !v.ds.healthy) {
 		ctx.vgpu = nil
@@ -486,6 +501,7 @@ func (rt *Runtime) recover(ctx *Context) error {
 		}
 		rt.mm.MarkKernelEffects(ptes, call.ReadOnly)
 		rt.replays.Add(1)
+		replayed++
 	}
 	rt.mm.ClearLost(ctx.id)
 	rt.logf("ctx %d recovered (%d kernels replayed)", ctx.id, len(replay))

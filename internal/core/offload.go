@@ -88,7 +88,12 @@ func (rt *Runtime) HandleConn(sc transport.ServerConn) {
 			rt.offloaded.Add(1)
 			rt.logf("offloading connection to peer")
 			rt.event(trace.KindOffload, 0, 0, -1, "")
-			rt.proxy(sc, peer)
+			// The offload span lives for the whole proxied connection;
+			// its ID travels with every forwarded call so the peer's
+			// call spans parent to it across the wire.
+			osp := rt.beginSpan("offload", 0, 0)
+			rt.proxy(sc, peer, osp.id())
+			osp.end(-1, "", nil)
 			return
 		}
 		rt.logf("offload dial failed (%v); serving locally", err)
@@ -128,8 +133,10 @@ func (rt *Runtime) shed(sc transport.ServerConn) {
 }
 
 // proxy pumps calls from a local connection to a peer runtime and
-// relays the replies, until either side closes.
-func (rt *Runtime) proxy(sc transport.ServerConn, peer transport.Conn) {
+// relays the replies, until either side closes. A non-zero parent
+// span ID is attached to every forwarded call (api.WithSpan) so the
+// peer's spans nest under this hop in a merged trace.
+func (rt *Runtime) proxy(sc transport.ServerConn, peer transport.Conn, parent trace.SpanID) {
 	defer func() {
 		_ = peer.Close()
 		// Close the application side too: once the proxy stops pumping,
@@ -143,7 +150,11 @@ func (rt *Runtime) proxy(sc transport.ServerConn, peer transport.Conn) {
 		if err != nil {
 			return
 		}
-		reply, err := peer.Call(call)
+		out := call
+		if parent != 0 {
+			out = api.WithSpan{Parent: uint64(parent), Call: call}
+		}
+		reply, err := peer.Call(out)
 		if err != nil {
 			// The peer died mid-stream; the application observes a
 			// connection-level failure, as it would with a crashed

@@ -284,6 +284,10 @@ type Runtime struct {
 	closed        bool
 	healthRunning bool
 
+	// timings holds the runtime's latency/size histograms. Always
+	// live (Observe is lock-free and cheap), independent of cfg.Trace.
+	timings trace.Timings
+
 	calls          atomic.Int64
 	binds          atomic.Int64
 	interSwaps     atomic.Int64
@@ -320,6 +324,14 @@ func New(crt *cudart.Runtime, cfg Config) (*Runtime, error) {
 		rt.policy = sched.FCFS{}
 	}
 	rt.mm.InstallFaults(cfg.Faults)
+	rt.mm.SetTracer(&trace.Tracer{
+		Rec:       cfg.Trace,
+		Now:       rt.clock.Now,
+		SwapDur:   &rt.timings.SwapDur,
+		SwapBytes: &rt.timings.SwapBytes,
+		H2D:       &rt.timings.H2D,
+		D2H:       &rt.timings.D2H,
+	})
 	rt.dispatchHook = cfg.Faults.Hook(faultinject.PointDispatch, "")
 	rt.cond = sync.NewCond(&rt.mu)
 	for i := 0; i < crt.DeviceCount(); i++ {
@@ -466,6 +478,7 @@ func (rt *Runtime) wireStats() api.RuntimeStats {
 		Sheds:          m.Sheds,
 		QueueDepth:     depth,
 		LiveContexts:   live,
+		Histograms:     rt.timings.Snapshot(),
 	}
 	for _, d := range m.Devices {
 		out.Devices = append(out.Devices, api.DeviceStats{
@@ -548,6 +561,80 @@ func (rt *Runtime) event(kind trace.Kind, ctx, other int64, device int, detail s
 			Detail: detail,
 		})
 	}
+}
+
+// span is an in-flight causal span. A nil *span (no recorder
+// configured) is valid: every method no-ops, so call sites instrument
+// unconditionally.
+type span struct {
+	rt *Runtime
+	s  trace.Span
+}
+
+// beginSpan opens a span at the current model time; parent is the
+// enclosing span's ID (0 for roots). Returns nil without a recorder.
+func (rt *Runtime) beginSpan(phase string, ctx int64, parent trace.SpanID) *span {
+	if rt.cfg.Trace == nil {
+		return nil
+	}
+	return &span{rt: rt, s: trace.Span{
+		ID: trace.NewSpanID(), Parent: parent, Ctx: ctx,
+		Phase: phase, Start: rt.clock.Now(), Device: -1,
+	}}
+}
+
+// id returns the span's ID, 0 for a nil span.
+func (sp *span) id() trace.SpanID {
+	if sp == nil {
+		return 0
+	}
+	return sp.s.ID
+}
+
+// end closes and records the span.
+func (sp *span) end(device int, detail string, err error) {
+	if sp == nil {
+		return
+	}
+	sp.s.End = sp.rt.clock.Now()
+	sp.s.Device = device
+	sp.s.Detail = detail
+	if err != nil {
+		sp.s.Err = err.Error()
+	}
+	sp.rt.cfg.Trace.RecordSpan(sp.s)
+}
+
+// endIfTimed records the span only when model time advanced inside it
+// — used for phases (swap-in) that usually complete instantly and
+// would otherwise flood the ring with zero-length spans.
+func (sp *span) endIfTimed(device int, detail string, err error) {
+	if sp == nil {
+		return
+	}
+	if sp.rt.clock.Now() == sp.s.Start && err == nil {
+		return
+	}
+	sp.end(device, detail, err)
+}
+
+// Timings exposes the runtime's latency/size histograms (read-only
+// use: snapshotting for exposition).
+func (rt *Runtime) Timings() *trace.Timings { return &rt.timings }
+
+// TraceRecorder returns the configured trace recorder, nil when
+// tracing is off.
+func (rt *Runtime) TraceRecorder() *trace.Recorder { return rt.cfg.Trace }
+
+// StatsSnapshot returns the operator-facing metrics snapshot — the
+// same structure served over the wire for a StatsCall, reused by the
+// HTTP operator plane.
+func (rt *Runtime) StatsSnapshot() api.RuntimeStats { return rt.wireStats() }
+
+// NotePeerCall records one peer RPC round trip; the cluster layer's
+// link wrapper feeds it.
+func (rt *Runtime) NotePeerCall(d time.Duration) {
+	rt.timings.PeerCall.Observe(int64(d))
 }
 
 // Close shuts the runtime down: waiting contexts are released with an

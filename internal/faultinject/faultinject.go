@@ -28,6 +28,7 @@ import (
 
 	"gvrt/internal/api"
 	"gvrt/internal/sim"
+	"gvrt/internal/trace"
 )
 
 // Point names a class of injection sites. The constants below are the
@@ -207,6 +208,10 @@ type Plane struct {
 	mu    sync.Mutex
 	hooks map[string]*Hook
 	fired []Fired
+	// tracer mirrors fired faults into a trace recorder as zero-length
+	// "fault:<point>" spans, so an exported timeline visually aligns
+	// faults with the recoveries they triggered. Nil records nothing.
+	tracer *trace.Tracer
 }
 
 // New arms a plan.
@@ -259,11 +264,31 @@ func (p *Plane) Hook(point Point, label string) *Hook {
 	return h
 }
 
+// SetTrace mirrors every fired fault into rec as an instant span
+// stamped with now()'s model time. Call it before serving; a nil
+// recorder disables mirroring. A nil *Plane is a no-op.
+func (p *Plane) SetTrace(rec *trace.Recorder, now func() time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if rec == nil {
+		p.tracer = nil
+	} else {
+		p.tracer = &trace.Tracer{Rec: rec, Now: now}
+	}
+	p.mu.Unlock()
+}
+
 // record appends a fired fault to the schedule.
 func (p *Plane) record(f Fired) {
 	p.mu.Lock()
 	p.fired = append(p.fired, f)
+	t := p.tracer
 	p.mu.Unlock()
+	if t != nil {
+		t.Span("fault:"+string(f.Point), 0, t.Start(), -1, f.String())
+	}
 }
 
 // Schedule returns every fault fired so far. Entries from one hook

@@ -26,11 +26,13 @@
 package memmgr
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"gvrt/internal/api"
 	"gvrt/internal/faultinject"
+	"gvrt/internal/trace"
 )
 
 // Kind distinguishes the allocation flavours of the CUDA API (the
@@ -157,6 +159,11 @@ type Manager struct {
 	// no journal is attached.
 	obs Observer
 
+	// tracer records swap/transfer spans and feeds the runtime's
+	// histograms; nil records nothing. The manager has no clock of its
+	// own, so the tracer carries the model-time source.
+	tracer *trace.Tracer
+
 	swapOps    atomic.Int64
 	swapBytes  atomic.Int64
 	coalesced  atomic.Int64
@@ -202,6 +209,10 @@ func (m *Manager) swapWriteFault() error {
 	}
 	return nil
 }
+
+// SetTracer installs the span/histogram tracer (mirrors SetObserver).
+// Call it before the manager starts serving; nil disables tracing.
+func (m *Manager) SetTracer(t *trace.Tracer) { m.tracer = t }
 
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
@@ -434,9 +445,18 @@ func (m *Manager) syncToSwap(pte *PTE, ops DeviceOps) error {
 	if err := m.swapWriteFault(); err != nil {
 		return err
 	}
+	t := m.tracer
+	start := t.Start()
 	data, err := ops.MemcpyDH(pte.Device, pte.Size)
 	if err != nil {
 		return err
+	}
+	if t != nil {
+		elapsed := t.Start() - start
+		t.Observe(t.D2H, int64(elapsed))
+		if elapsed > 0 {
+			t.Span("d2h", pte.ctxID, start, -1, fmt.Sprintf("%d bytes", pte.Size))
+		}
 	}
 	if data != nil {
 		copy(pte.swapData(), data)
@@ -592,8 +612,17 @@ func (m *Manager) makeResident(pte *PTE, ops DeviceOps, depth int) error {
 				m.patchPointers(pte, img, false)
 			}
 		}
+		t := m.tracer
+		start := t.Start()
 		if err := ops.MemcpyHD(pte.Device, img, pte.Size); err != nil {
 			return err
+		}
+		if t != nil {
+			elapsed := t.Start() - start
+			t.Observe(t.H2D, int64(elapsed))
+			if elapsed > 0 {
+				t.Span("h2d", pte.ctxID, start, -1, fmt.Sprintf("%d bytes", pte.Size))
+			}
 		}
 		if pte.writesSinceResident > 1 {
 			m.coalesced.Add(int64(pte.writesSinceResident - 1))
@@ -637,6 +666,8 @@ func (m *Manager) SwapOut(pte *PTE, ops DeviceOps) error {
 	if !pte.IsAllocated {
 		return nil
 	}
+	t := m.tracer
+	start := t.Start()
 	if pte.ToCopy2Swap {
 		if err := m.syncToSwap(pte, ops); err != nil {
 			return err
@@ -650,6 +681,14 @@ func (m *Manager) SwapOut(pte *PTE, ops DeviceOps) error {
 	pte.Device = 0
 	pte.ToCopy2Dev = true
 	m.swapOps.Add(1)
+	if t != nil {
+		elapsed := t.Start() - start
+		t.Observe(t.SwapDur, int64(elapsed))
+		t.Observe(t.SwapBytes, int64(pte.Size))
+		if elapsed > 0 {
+			t.Span("swap-out", pte.ctxID, start, -1, fmt.Sprintf("%d bytes", pte.Size))
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,161 @@
+// Package opserver is the HTTP operator plane of a gvrt daemon: a
+// small handler serving Prometheus text-format metrics (/metrics), a
+// human-readable node status page (/statusz), the slowest recent spans
+// (/tracez), a Perfetto-loadable Chrome trace-event export
+// (/trace.json), and the Go profiler (/debug/pprof). It reads only
+// snapshot APIs — the runtime's StatsCall structure and the trace
+// recorder — so scraping never contends with the dispatch path beyond
+// what a StatsCall already costs.
+package opserver
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"time"
+
+	"gvrt/internal/api"
+	"gvrt/internal/trace"
+)
+
+// Source is the slice of a runtime the operator plane reads. Stats is
+// required; the rest degrade gracefully (nil Trace serves empty
+// /tracez and /trace.json, nil Now omits model uptime).
+type Source struct {
+	// Stats returns the node's metrics snapshot (Runtime.StatsSnapshot).
+	Stats func() api.RuntimeStats
+	// Trace is the node's trace recorder; nil when tracing is off.
+	Trace *trace.Recorder
+	// Now is the model clock, used for uptime and the trace export.
+	Now func() time.Duration
+	// Name labels the process in trace exports (default "gvrtd").
+	Name string
+}
+
+// Handler builds the operator-plane HTTP handler.
+func Handler(src Source) http.Handler {
+	if src.Name == "" {
+		src.Name = "gvrtd"
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "gvrt operator plane (%s)\n\n", src.Name)
+		fmt.Fprintln(w, "  /metrics      Prometheus text exposition")
+		fmt.Fprintln(w, "  /statusz      node status: devices, queue, counters")
+		fmt.Fprintln(w, "  /tracez       slowest recent spans (?n=100)")
+		fmt.Fprintln(w, "  /trace.json   Chrome trace-event export (load in Perfetto)")
+		fmt.Fprintln(w, "  /debug/pprof  Go profiler")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, src.Stats())
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeStatusz(w, src)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeTracez(w, src, r.URL.Query().Get("n"))
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		proc := trace.ChromeProcess{Name: src.Name}
+		if src.Trace != nil {
+			proc.Spans = src.Trace.Spans()
+			proc.Events = src.Trace.Snapshot()
+		}
+		if err := trace.WriteChromeTrace(w, proc); err != nil {
+			// Headers are gone; the truncated body is the best signal left.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeStatusz renders the human status page.
+func writeStatusz(w http.ResponseWriter, src Source) {
+	s := src.Stats()
+	fmt.Fprintf(w, "gvrt node status (%s)\n", src.Name)
+	if src.Now != nil {
+		fmt.Fprintf(w, "model time:    %v\n", src.Now())
+	}
+	fmt.Fprintf(w, "queue depth:   %d\n", s.QueueDepth)
+	fmt.Fprintf(w, "live contexts: %d\n\n", s.LiveContexts)
+
+	fmt.Fprintln(w, "devices:")
+	fmt.Fprintf(w, "  %-3s %-12s %-9s %5s/%-5s %9s %10s %12s %12s\n",
+		"idx", "model", "state", "vgpu", "cap", "launches", "busy", "mem avail", "capacity")
+	for _, d := range s.Devices {
+		state := "healthy"
+		if !d.Healthy {
+			state = "FAILED"
+		}
+		fmt.Fprintf(w, "  %-3d %-12s %-9s %5d/%-5d %9d %10v %12d %12d\n",
+			d.Index, d.Name, state, d.ActiveVGPUs, d.VGPUs,
+			d.Launches, time.Duration(d.BusyNS).Round(time.Millisecond),
+			d.MemAvailable, d.Capacity)
+	}
+
+	fmt.Fprintln(w, "\ncounters:")
+	for _, c := range statCounters(s) {
+		fmt.Fprintf(w, "  %-22s %d\n", c.name, c.value)
+	}
+
+	if len(s.Histograms) > 0 {
+		keys := make([]string, 0, len(s.Histograms))
+		for k := range s.Histograms {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintln(w, "\nlatency (model time unless noted):")
+		fmt.Fprintf(w, "  %-26s %9s %12s %12s %12s\n", "histogram", "count", "p50", "p99", "mean")
+		for _, k := range keys {
+			h := s.Histograms[k]
+			if k == "swap_bytes" {
+				fmt.Fprintf(w, "  %-26s %9d %12d %12d %12.0f (bytes)\n",
+					k, h.Count, h.Quantile(0.5), h.Quantile(0.99), h.Mean())
+				continue
+			}
+			fmt.Fprintf(w, "  %-26s %9d %12v %12v %12v\n",
+				k, h.Count,
+				time.Duration(h.Quantile(0.5)), time.Duration(h.Quantile(0.99)),
+				time.Duration(h.Mean()))
+		}
+	}
+	if src.Trace != nil {
+		fmt.Fprintf(w, "\nspans recorded: %d (retained %d)\n",
+			src.Trace.SpanTotal(), len(src.Trace.Spans()))
+	}
+}
+
+// writeTracez renders the slowest retained spans, one per line.
+func writeTracez(w http.ResponseWriter, src Source, nParam string) {
+	n := 100
+	if v, err := strconv.Atoi(nParam); err == nil && v > 0 {
+		n = v
+	}
+	if src.Trace == nil {
+		fmt.Fprintln(w, "tracing off (runtime built without a trace recorder)")
+		return
+	}
+	spans := src.Trace.SlowestSpans(n)
+	fmt.Fprintf(w, "slowest %d of %d retained spans (%d recorded)\n\n",
+		len(spans), len(src.Trace.Spans()), src.Trace.SpanTotal())
+	fmt.Fprintf(w, "%12s %10s %-16s\n", "start", "dur", "phase")
+	for _, s := range spans {
+		fmt.Fprintln(w, s.String())
+	}
+}

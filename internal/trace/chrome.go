@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeProcess groups one recorder's output under a named "process"
+// row in the exported trace. A single-node export uses one process; a
+// cluster export passes one per node so offload flows draw as arrows
+// between process rows in Perfetto.
+type ChromeProcess struct {
+	// Name labels the process row (e.g. "gvrtd node-a").
+	Name string
+	// Spans are rendered as complete ("X") duration events, one track
+	// (tid) per context ID.
+	Spans []Span
+	// Events are rendered as instant ("i") events.
+	Events []Event
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (the subset Perfetto's importer understands).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func usec(d int64) float64 { return float64(d) / 1e3 }
+
+// WriteChromeTrace renders spans and events as Chrome trace-event
+// JSON (the {"traceEvents":[...]} form), loadable in Perfetto and
+// chrome://tracing. Model-time nanoseconds become trace microseconds.
+// Parent links that cross a (process, context) track boundary — e.g.
+// an offload span on the head node parenting call spans served by a
+// peer — are drawn as flow arrows.
+func WriteChromeTrace(w io.Writer, procs ...ChromeProcess) error {
+	var out []chromeEvent
+
+	// Track location of every span so cross-track parent links can be
+	// emitted as flows.
+	type loc struct {
+		pid int
+		tid int64
+		s   Span
+	}
+	byID := make(map[SpanID]loc)
+	for pi, p := range procs {
+		for _, s := range p.Spans {
+			byID[s.ID] = loc{pid: pi + 1, tid: s.Ctx, s: s}
+		}
+	}
+
+	for pi, p := range procs {
+		pid := pi + 1
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": p.Name},
+		})
+		for _, s := range p.Spans {
+			args := map[string]any{"span": uint64(s.ID)}
+			if s.Parent != 0 {
+				args["parent"] = uint64(s.Parent)
+			}
+			if s.Device >= 0 {
+				args["device"] = s.Device
+			}
+			if s.Detail != "" {
+				args["detail"] = s.Detail
+			}
+			if s.Err != "" {
+				args["err"] = s.Err
+			}
+			dur := usec(int64(s.Dur()))
+			if dur <= 0 {
+				dur = 0.001 // keep zero-length spans visible
+			}
+			out = append(out, chromeEvent{
+				Name: s.Phase, Cat: "span", Ph: "X",
+				TS: usec(int64(s.Start)), Dur: dur,
+				PID: pid, TID: s.Ctx, Args: args,
+			})
+			if parent, ok := byID[s.Parent]; ok && (parent.pid != pid || parent.tid != s.Ctx) {
+				id := fmt.Sprintf("0x%x", uint64(s.ID))
+				out = append(out, chromeEvent{
+					Name: "flow", Cat: "flow", Ph: "s",
+					TS: usec(int64(parent.s.Start)), PID: parent.pid, TID: parent.tid, ID: id,
+				})
+				out = append(out, chromeEvent{
+					Name: "flow", Cat: "flow", Ph: "f", BP: "e",
+					TS: usec(int64(s.Start)), PID: pid, TID: s.Ctx, ID: id,
+				})
+			}
+		}
+		for _, e := range p.Events {
+			args := map[string]any{}
+			if e.Other != 0 {
+				args["other"] = e.Other
+			}
+			if e.Device >= 0 {
+				args["device"] = e.Device
+			}
+			if e.Detail != "" {
+				args["detail"] = e.Detail
+			}
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Cat: "event", Ph: "i",
+				TS: usec(int64(e.Time)), PID: pid, TID: e.Ctx,
+				S: "t", Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}

@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// histBuckets is the number of log2 buckets. Bucket i holds values v
+// with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i); bucket 0 holds
+// v <= 0. 64 buckets cover the full int64 range, so nanosecond
+// latencies from 1ns to ~292 years land without configuration.
+const histBuckets = 64
+
+// Histogram is a fixed-shape log2-bucketed histogram. Observe is
+// lock-free (one atomic add per bucket plus count and sum), Snapshot
+// is a consistent-enough read for monitoring (buckets are read
+// individually, so a snapshot taken during heavy traffic may be off
+// by in-flight observations — acceptable for exposition). The shape
+// is identical across all histograms, which makes snapshots mergeable
+// bucket-by-bucket.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// bucketOf returns the bucket index for a value.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketBound returns the exclusive upper bound of bucket i (2^i),
+// shared by every Histogram. Bucket histBuckets-1 is unbounded in
+// practice; callers render it as +Inf.
+func BucketBound(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= 63 {
+		return int64(1) << 62 // sentinel; exposition renders +Inf
+	}
+	return int64(1) << uint(i)
+}
+
+// Observe records one value (typically nanoseconds or bytes).
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistSnapshot is a point-in-time copy of a Histogram, shaped for the
+// wire: Buckets[i] is the count of observations in log2 bucket i,
+// with trailing zero buckets trimmed to keep StatsCall replies small.
+type HistSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	last := -1
+	var raw [histBuckets]int64
+	for i := range h.buckets {
+		raw[i] = h.buckets[i].Load()
+		if raw[i] != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		s.Buckets = append(s.Buckets, raw[:last+1]...)
+	}
+	return s
+}
+
+// Merge adds other's observations into s (same fixed bucket shape).
+func (s HistSnapshot) Merge(other HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: s.Count + other.Count, Sum: s.Sum + other.Sum}
+	n := len(s.Buckets)
+	if len(other.Buckets) > n {
+		n = len(other.Buckets)
+	}
+	if n > 0 {
+		out.Buckets = make([]int64, n)
+		copy(out.Buckets, s.Buckets)
+		for i, v := range other.Buckets {
+			out.Buckets[i] += v
+		}
+	}
+	return out
+}
+
+// Delta returns the observations recorded since prev, assuming s is a
+// later snapshot of the same histogram. Used by gvrt-top to compute
+// interval quantiles from cumulative snapshots.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	if len(s.Buckets) > 0 {
+		out.Buckets = make([]int64, len(s.Buckets))
+		copy(out.Buckets, s.Buckets)
+		for i, v := range prev.Buckets {
+			if i < len(out.Buckets) {
+				out.Buckets[i] -= v
+			}
+		}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0..1) as the upper bound of the
+// bucket containing the q*Count-th observation. The log2 shape bounds
+// the overestimate at 2x. Returns 0 when the snapshot is empty.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum int64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum > rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(len(s.Buckets) - 1)
+}
+
+// Mean returns the average observed value, 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// HistVec is a set of Histograms keyed by label (e.g. per call kind).
+// Lookup takes a read lock; Observe on the returned histogram is
+// lock-free.
+type HistVec struct {
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// Observe records v under label, creating the histogram on first use.
+func (v *HistVec) Observe(label string, val int64) {
+	v.With(label).Observe(val)
+}
+
+// With returns the histogram for label, creating it on first use.
+func (v *HistVec) With(label string) *Histogram {
+	v.mu.RLock()
+	h := v.m[label]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.m == nil {
+		v.m = make(map[string]*Histogram)
+	}
+	if h = v.m[label]; h == nil {
+		h = &Histogram{}
+		v.m[label] = h
+	}
+	return h
+}
+
+// Labels returns the registered labels, sorted.
+func (v *HistVec) Labels() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, 0, len(v.m))
+	for k := range v.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot copies every labeled histogram.
+func (v *HistVec) Snapshot() map[string]HistSnapshot {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]HistSnapshot, len(v.m))
+	for k, h := range v.m {
+		out[k] = h.Snapshot()
+	}
+	return out
+}
+
+// Timings bundles the runtime's latency and size histograms. All
+// durations are model-time nanoseconds except JournalCommitWall,
+// which is wall time (fsync cost is real, not simulated). A zero
+// Timings is ready to use.
+type Timings struct {
+	// Call records service time per call kind ("call.<name>" keys in
+	// Snapshot).
+	Call HistVec
+	// Launch is end-to-end kernel launch service time.
+	Launch Histogram
+	// QueueWait is time parked waiting for a free vGPU.
+	QueueWait Histogram
+	// BindWait is total time from first bind attempt to bound.
+	BindWait Histogram
+	// SwapDur is per-swap-operation duration.
+	SwapDur Histogram
+	// SwapBytes is per-swap-operation size in bytes.
+	SwapBytes Histogram
+	// H2D and D2H are per-transfer durations.
+	H2D Histogram
+	D2H Histogram
+	// JournalCommitWall is wall-clock nanoseconds per durable kernel
+	// commit (dominated by fsync).
+	JournalCommitWall Histogram
+	// PeerCall is per-peer-RPC round-trip time.
+	PeerCall Histogram
+}
+
+// Snapshot renders every histogram with a non-zero count, keyed by
+// metric name. Per-call-kind histograms are keyed "call.<name>".
+func (t *Timings) Snapshot() map[string]HistSnapshot {
+	out := make(map[string]HistSnapshot)
+	for k, s := range t.Call.Snapshot() {
+		if s.Count > 0 {
+			out["call."+k] = s
+		}
+	}
+	named := map[string]*Histogram{
+		"launch_latency":      &t.Launch,
+		"queue_wait":          &t.QueueWait,
+		"bind_wait":           &t.BindWait,
+		"swap_duration":       &t.SwapDur,
+		"swap_bytes":          &t.SwapBytes,
+		"h2d":                 &t.H2D,
+		"d2h":                 &t.D2H,
+		"journal_commit_wall": &t.JournalCommitWall,
+		"peer_call":           &t.PeerCall,
+	}
+	for name, h := range named {
+		if s := h.Snapshot(); s.Count > 0 {
+			out[name] = s
+		}
+	}
+	return out
+}

@@ -69,7 +69,7 @@ var kindNames = [...]string{
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
-	if int(k) < len(kindNames) {
+	if k >= 0 && int(k) < len(kindNames) {
 		return kindNames[k]
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
@@ -118,6 +118,8 @@ type Recorder struct {
 	next  int
 	count uint64
 	full  bool
+
+	spans spanRing
 }
 
 // NewRecorder creates a recorder keeping the most recent capacity

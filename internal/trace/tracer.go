@@ -1,0 +1,48 @@
+package trace
+
+import "time"
+
+// Tracer is a small handle layers below core (memmgr, faultinject)
+// use to record spans and observe histograms without importing core.
+// A nil *Tracer is valid and records nothing, so callers instrument
+// unconditionally.
+type Tracer struct {
+	// Rec receives completed spans; may be nil.
+	Rec *Recorder
+	// Now returns current model time; required when Rec is set.
+	Now func() time.Duration
+	// Histograms fed by the instrumented layer; each may be nil.
+	SwapDur   *Histogram
+	SwapBytes *Histogram
+	H2D       *Histogram
+	D2H       *Histogram
+}
+
+// Start returns the current model time, or 0 on a nil tracer.
+func (t *Tracer) Start() time.Duration {
+	if t == nil || t.Now == nil {
+		return 0
+	}
+	return t.Now()
+}
+
+// Span records a span from start to now. No-op on a nil tracer or
+// nil recorder.
+func (t *Tracer) Span(phase string, ctx int64, start time.Duration, device int, detail string) {
+	if t == nil || t.Rec == nil || t.Now == nil {
+		return
+	}
+	t.Rec.RecordSpan(Span{
+		ID: NewSpanID(), Ctx: ctx, Phase: phase,
+		Start: start, End: t.Now(), Device: device, Detail: detail,
+	})
+}
+
+// Observe records v into h when both the tracer and histogram are
+// non-nil.
+func (t *Tracer) Observe(h *Histogram, v int64) {
+	if t == nil || h == nil {
+		return
+	}
+	h.Observe(v)
+}

@@ -1,0 +1,64 @@
+package transport
+
+import (
+	"testing"
+
+	"gvrt/internal/api"
+)
+
+// TestWithSpanOverTCP proves the span-carrying wrapper survives the gob
+// wire intact: the server sees a WithSpan whose Unwrap yields the
+// original call and parent ID. This is the mechanism by which an
+// offload hop propagates its causal parent to the peer.
+func TestWithSpanOverTCP(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	got := make(chan api.Call, 1)
+	go func() {
+		s, err := l.Accept()
+		if err != nil {
+			return
+		}
+		call, err := s.Recv()
+		if err != nil {
+			return
+		}
+		got <- call
+		s.Reply(api.Reply{})
+	}()
+
+	c, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	inner := api.LaunchCall{Kernel: "k", Repeat: 3}
+	if _, err := c.Call(api.WithSpan{Parent: 42, Call: inner}); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	w, ok := (<-got).(api.WithSpan)
+	if !ok {
+		t.Fatal("server did not receive a WithSpan")
+	}
+	call, parent := w.Unwrap()
+	if parent != 42 {
+		t.Errorf("parent = %d, want 42", parent)
+	}
+	lc, ok := call.(api.LaunchCall)
+	if !ok || lc.Kernel != "k" || lc.Repeat != 3 {
+		t.Errorf("unwrapped call = %#v", call)
+	}
+	// Nested wrappers unwrap to the innermost call, outermost parent.
+	call, parent = api.WithSpan{Parent: 7, Call: api.WithSpan{Parent: 9, Call: inner}}.Unwrap()
+	if parent != 7 {
+		t.Errorf("nested parent = %d, want 7", parent)
+	}
+	if _, ok := call.(api.LaunchCall); !ok {
+		t.Errorf("nested unwrap = %#v", call)
+	}
+}
