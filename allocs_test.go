@@ -1,0 +1,53 @@
+package gvrt_test
+
+import (
+	"testing"
+	"time"
+
+	"gvrt"
+)
+
+// TestLaunchDispatchAllocs pins the steady-state allocation cost of one
+// kernel launch through the whole in-process stack: frontend call →
+// pipe transport → dispatcher → resolve/checkFits/ensureResident →
+// simulated device and back. The per-launch hot path reuses per-context
+// scratch slices and lock-free binding reads (DESIGN.md §11), so its
+// allocation count must stay flat; the budget has headroom for tracing
+// bookkeeping but catches a reintroduced per-launch slice or map.
+func TestLaunchDispatchAllocs(t *testing.T) {
+	node, err := gvrt.NewLocalNode(gvrt.NewClock(1e-9), gvrt.Config{}, gvrt.TeslaC2050)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	c := node.OpenClient()
+	defer c.Close()
+	if err := c.RegisterFatBinary(gvrt.FatBinary{
+		ID:      "allocs",
+		Kernels: []gvrt.KernelMeta{{Name: "k", BaseTime: time.Microsecond}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Malloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := gvrt.LaunchCall{Kernel: "k", PtrArgs: []gvrt.DevPtr{p}}
+	// Warm: first launch binds the context and lands the deferred
+	// transfer; steady state begins after it.
+	for i := 0; i < 10; i++ {
+		if err := c.Launch(call); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if err := c.Launch(call); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("launch dispatch: %.1f allocs/launch", avg)
+	const budget = 8
+	if avg > budget {
+		t.Errorf("launch dispatch allocates %.1f objects/launch, budget %d", avg, budget)
+	}
+}

@@ -128,6 +128,7 @@ func BenchmarkLaunchPath(b *testing.B) {
 		b.Fatal(err)
 	}
 	call := gvrt.LaunchCall{Kernel: "k", PtrArgs: []gvrt.DevPtr{p}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := c.Launch(call); err != nil {
@@ -161,6 +162,7 @@ func BenchmarkSwapRoundTrip(b *testing.B) {
 	defer c1.Close()
 	c2, p2 := mk()
 	defer c2.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := c1.Launch(gvrt.LaunchCall{Kernel: "k", PtrArgs: []gvrt.DevPtr{p1}}); err != nil {

@@ -1,0 +1,418 @@
+// Command gvrt-bench is the repository's macro-benchmark: it drives
+// thousands of concurrent client sessions against freshly built
+// single- and multi-node simulated clusters and records the runtime's
+// framework throughput as one benchfmt trajectory file (BENCH_<n>.json,
+// one per PR, never overwritten — see EXPERIMENTS.md).
+//
+// The headline scenarios run at clock scale 1e-9, which makes modeled
+// GPU time vanish against wall time: what remains is the cost of the
+// runtime itself — dispatch, binding, the memory manager and the
+// transport — exactly the paths the per-device sharding work targets.
+// Latency quantiles come from the runtime's Timings histograms
+// converted to wall-clock microseconds (model time × clock scale).
+//
+// Usage:
+//
+//	gvrt-bench -pr 6 -out BENCH_6.json            # full trajectory run
+//	gvrt-bench -quick -out /tmp/bench.json        # CI smoke scale
+//	gvrt-bench -quick -baseline BENCH_6.json      # + p99 regression gate
+//	gvrt-bench -validate BENCH_6.json             # schema check only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"gvrt/internal/api"
+	"gvrt/internal/benchfmt"
+	"gvrt/internal/core"
+	"gvrt/internal/cudart"
+	"gvrt/internal/frontend"
+	"gvrt/internal/gpu"
+	"gvrt/internal/sim"
+	"gvrt/internal/trace"
+	"gvrt/internal/transport"
+	"gvrt/internal/workload"
+)
+
+// benchScale makes modeled time negligible against wall time so the
+// measurement isolates framework overhead (same choice as the repo's
+// micro-benchmarks in bench_test.go).
+const benchScale = 1e-9
+
+type sizes struct {
+	sessions int // concurrent client sessions (multi-device)
+	iters    int // h2d+launch iterations per session
+	nodeSess int // sessions for the multi-node scenario
+	swapSess int // sessions for the swap-pressure scenario
+	swapIter int // launches per swap-pressure session
+	mixJobs  int // jobs for the paper-mix scenario
+}
+
+func fullSizes() sizes  { return sizes{2000, 20, 400, 6, 40, 48} }
+func quickSizes() sizes { return sizes{200, 10, 80, 4, 10, 12} }
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "reduced scale for CI smoke runs")
+		out      = flag.String("out", "", "write the report to this file (default stdout)")
+		pr       = flag.Int("pr", 6, "PR ordinal recorded in the report")
+		label    = flag.String("label", "", "free-form label for the code state measured")
+		only     = flag.String("scenario", "", "comma-separated scenario filter (default all)")
+		sessions = flag.Int("sessions", 0, "override multi-device session count")
+		seed     = flag.Int64("seed", 1, "workload seed for the paper-mix scenario")
+		baseline = flag.String("baseline", "", "compare p99 launch latency against this report")
+		maxRatio = flag.Float64("max-p99-ratio", 2.0, "regression gate for -baseline")
+		validate = flag.String("validate", "", "validate this report file and exit")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		if _, err := benchfmt.ReadFile(*validate); err != nil {
+			fatalf("validate: %v", err)
+		}
+		fmt.Printf("%s: valid %s report\n", *validate, benchfmt.Schema)
+		return
+	}
+
+	sz := fullSizes()
+	if *quick {
+		sz = quickSizes()
+	}
+	if *sessions > 0 {
+		sz.sessions = *sessions
+	}
+
+	type scenarioFn struct {
+		name string
+		run  func(sizes, int64) (benchfmt.Scenario, error)
+	}
+	all := []scenarioFn{
+		{"multi-device", runMultiDevice},
+		{"multi-node", runMultiNode},
+		{"swap-pressure", runSwapPressure},
+		{"paper-mix", runPaperMix},
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+
+	rep := &benchfmt.Report{Schema: benchfmt.Schema, PR: *pr, Label: *label, Quick: *quick}
+	for _, sc := range all {
+		if len(want) > 0 && !want[sc.name] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "gvrt-bench: running %s...\n", sc.name)
+		s, err := sc.run(sz, *seed)
+		if err != nil {
+			fatalf("%s: %v", sc.name, err)
+		}
+		fmt.Fprintf(os.Stderr, "gvrt-bench: %s: %.0f calls/sec, launch p50/p99 %.1f/%.1f us\n",
+			s.Name, s.CallsPerSec, s.LaunchP50US, s.LaunchP99US)
+		rep.Scenarios = append(rep.Scenarios, s)
+	}
+
+	if err := benchfmt.Validate(rep); err != nil {
+		fatalf("emitted report invalid: %v", err)
+	}
+	b, err := benchfmt.Encode(rep)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *out == "" {
+		os.Stdout.Write(b)
+	} else if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+
+	if *baseline != "" {
+		base, err := benchfmt.ReadFile(*baseline)
+		if err != nil {
+			fatalf("baseline: %v", err)
+		}
+		if bad := benchfmt.CompareP99(base, rep, *maxRatio); len(bad) > 0 {
+			for _, m := range bad {
+				fmt.Fprintf(os.Stderr, "gvrt-bench: REGRESSION: %s\n", m)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gvrt-bench: p99 gate vs %s passed (<= %.1fx)\n", *baseline, *maxRatio)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gvrt-bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// node bundles one freshly built simulated node.
+type node struct {
+	clock *sim.Clock
+	crt   *cudart.Runtime
+	rt    *core.Runtime
+}
+
+func newNode(scale float64, cfg core.Config, specs ...gpu.Spec) (*node, error) {
+	clock := sim.NewClock(scale)
+	devs := make([]*gpu.Device, len(specs))
+	for i, s := range specs {
+		devs[i] = gpu.NewDevice(i, s, clock)
+	}
+	crt := cudart.New(clock, devs...)
+	rt, err := core.New(crt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &node{clock: clock, crt: crt, rt: rt}, nil
+}
+
+func (n *node) client() *frontend.Client {
+	c, s := transport.Pipe()
+	go n.rt.Serve(s)
+	return frontend.Connect(c)
+}
+
+// benchBinary is the fat binary every synthetic session registers: one
+// fast kernel so launch cost is dominated by the dispatch path.
+func benchBinary() api.FatBinary {
+	return api.FatBinary{
+		ID: "gvrt-bench",
+		Kernels: []api.KernelMeta{
+			{Name: "spin", BaseTime: 50 * time.Microsecond},
+		},
+	}
+}
+
+// quantilesUS converts a model-time histogram snapshot into wall-clock
+// microsecond p50/p99.
+func quantilesUS(h trace.HistSnapshot, scale float64) (p50, p99 float64) {
+	toUS := scale / 1e3 // model ns -> wall us
+	return float64(h.Quantile(0.50)) * toUS, float64(h.Quantile(0.99)) * toUS
+}
+
+// fill populates the latency fields of a scenario from a runtime's
+// timing histograms.
+func fill(s *benchfmt.Scenario, t *trace.Timings, scale float64) {
+	s.LaunchP50US, s.LaunchP99US = quantilesUS(t.Launch.Snapshot(), scale)
+	s.QueueWaitP50US, s.QueueWaitP99US = quantilesUS(t.QueueWait.Snapshot(), scale)
+	s.BindWaitP50US, s.BindWaitP99US = quantilesUS(t.BindWait.Snapshot(), scale)
+}
+
+// session runs one synthetic client lifecycle: register, allocate two
+// buffers, iters rounds of h2d + launch, then free and exit.
+func session(c *frontend.Client, iters int, bufBytes uint64) error {
+	defer c.Close()
+	if err := c.RegisterFatBinary(benchBinary()); err != nil {
+		return err
+	}
+	a, err := c.Malloc(bufBytes)
+	if err != nil {
+		return err
+	}
+	b, err := c.Malloc(bufBytes)
+	if err != nil {
+		return err
+	}
+	launch := api.LaunchCall{
+		Kernel:  "spin",
+		Grid:    api.Dim3{X: 32},
+		Block:   api.Dim3{X: 128},
+		PtrArgs: []api.DevPtr{a, b},
+	}
+	for i := 0; i < iters; i++ {
+		if err := c.MemcpyHDSynthetic(a, bufBytes); err != nil {
+			return err
+		}
+		if err := c.Launch(launch); err != nil {
+			return err
+		}
+	}
+	if err := c.Free(a); err != nil {
+		return err
+	}
+	return c.Free(b)
+}
+
+// runMultiDevice is the headline scenario: sz.sessions concurrent
+// sessions over the paper's three-GPU node (2x Tesla C2050 + C1060),
+// small buffers, modeled time scaled away. Calls/sec here is the
+// framework's dispatch throughput.
+func runMultiDevice(sz sizes, _ int64) (benchfmt.Scenario, error) {
+	n, err := newNode(benchScale, core.Config{}, gpu.TeslaC2050, gpu.TeslaC2050, gpu.TeslaC1060)
+	if err != nil {
+		return benchfmt.Scenario{}, err
+	}
+	defer n.rt.Close()
+
+	errs := make([]error, sz.sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < sz.sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = session(n.client(), sz.iters, 256<<10)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return benchfmt.Scenario{}, err
+		}
+	}
+	return scenarioFrom("multi-device", sz.sessions, n, wall, benchScale), nil
+}
+
+// runMultiNode drives sessions at a head node that offloads its excess
+// to a peer over TCP (the paper's §4.7 path), so the measurement covers
+// the gob codec and the proxy pump as well.
+func runMultiNode(sz sizes, _ int64) (benchfmt.Scenario, error) {
+	peer, err := newNode(benchScale, core.Config{}, gpu.TeslaC2050)
+	if err != nil {
+		return benchfmt.Scenario{}, err
+	}
+	defer peer.rt.Close()
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		return benchfmt.Scenario{}, err
+	}
+	defer l.Close()
+	go peer.rt.ServeListener(l)
+
+	head, err := newNode(benchScale, core.Config{
+		VGPUsPerDevice:   2,
+		OffloadThreshold: 2,
+		PeerDial:         func() (transport.Conn, error) { return transport.Dial(l.Addr()) },
+	}, gpu.TeslaC2050)
+	if err != nil {
+		return benchfmt.Scenario{}, err
+	}
+	defer head.rt.Close()
+
+	errs := make([]error, sz.nodeSess)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < sz.nodeSess; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, s := transport.Pipe()
+			go head.rt.HandleConn(s)
+			errs[i] = session(frontend.Connect(c), sz.iters, 256<<10)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return benchfmt.Scenario{}, err
+		}
+	}
+
+	hm, pm := head.rt.Metrics(), peer.rt.Metrics()
+	s := scenarioFrom("multi-node", sz.nodeSess, head, wall, benchScale)
+	s.Calls = hm.CallsServed + pm.CallsServed
+	s.CallsPerSec = float64(s.Calls) / wall.Seconds()
+	s.Offloaded = hm.Offloaded
+	s.SwapOps = hm.Memory.SwapOps + pm.Memory.SwapOps
+	s.SwapBytesPerSec = float64(hm.Memory.SwapBytes+pm.Memory.SwapBytes) / wall.Seconds()
+	return s, nil
+}
+
+// runSwapPressure oversubscribes one device's memory so every launch
+// round forces inter-application swaps: the swap bytes/sec series of
+// the trajectory.
+func runSwapPressure(sz sizes, _ int64) (benchfmt.Scenario, error) {
+	n, err := newNode(benchScale, core.Config{
+		VGPUsPerDevice: 2,
+		MinVictimIdle:  -1,
+	}, gpu.TeslaC2050)
+	if err != nil {
+		return benchfmt.Scenario{}, err
+	}
+	defer n.rt.Close()
+
+	const buf = 1200 << 20 // 2 resident sessions exceed the C2050's 3 GB
+	errs := make([]error, sz.swapSess)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < sz.swapSess; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = session(n.client(), sz.swapIter, buf)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return benchfmt.Scenario{}, err
+		}
+	}
+	return scenarioFrom("swap-pressure", sz.swapSess, n, wall, benchScale), nil
+}
+
+// runPaperMix replays the Figure 5 style workload — a seeded draw from
+// the paper's short-running benchmark pool run as one concurrent batch
+// (the internal/exp scenario machinery) — at a scale where modeled
+// kernel time still matters, tying the trajectory back to the paper's
+// own evaluation unit.
+func runPaperMix(sz sizes, seed int64) (benchfmt.Scenario, error) {
+	const scale = 1e-6
+	n, err := newNode(scale, core.Config{}, gpu.TeslaC2050, gpu.TeslaC2050, gpu.TeslaC1060)
+	if err != nil {
+		return benchfmt.Scenario{}, err
+	}
+	defer n.rt.Close()
+
+	apps := workload.RandomShortBatch(sim.NewRNG(seed), sz.mixJobs)
+	start := time.Now()
+	res := workload.RunBatch(n.clock, apps, func(int) (workload.CUDA, error) {
+		return n.client(), nil
+	})
+	wall := time.Since(start)
+	if f := res.Failed(); f > 0 {
+		return benchfmt.Scenario{}, fmt.Errorf("%d/%d jobs failed: %v", f, len(apps), firstErr(res))
+	}
+	return scenarioFrom("paper-mix", sz.mixJobs, n, wall, scale), nil
+}
+
+func firstErr(res workload.BatchResult) error {
+	for _, err := range res.Errors {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scenarioFrom assembles the common measurement fields from a node's
+// runtime counters, device stats and timing histograms.
+func scenarioFrom(name string, sessions int, n *node, wall time.Duration, scale float64) benchfmt.Scenario {
+	m := n.rt.Metrics()
+	s := benchfmt.Scenario{
+		Name:        name,
+		Sessions:    sessions,
+		Calls:       m.CallsServed,
+		WallSeconds: wall.Seconds(),
+		CallsPerSec: float64(m.CallsServed) / wall.Seconds(),
+		SwapOps:     m.Memory.SwapOps,
+	}
+	s.SwapBytesPerSec = float64(m.Memory.SwapBytes) / wall.Seconds()
+	for _, d := range n.crt.Devices() {
+		st := d.Stats()
+		s.H2DOps += st.H2DOps
+		s.H2DBytes += st.H2DBytes
+	}
+	fill(&s, n.rt.Timings(), scale)
+	return s
+}

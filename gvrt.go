@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"gvrt/internal/api"
+	"gvrt/internal/benchfmt"
 	"gvrt/internal/ckptlog"
 	"gvrt/internal/cluster"
 	"gvrt/internal/core"
@@ -80,6 +81,23 @@ type (
 	// RNG is a deterministic random source for workload generation.
 	RNG = sim.RNG
 )
+
+// Benchmark-trajectory types (cmd/gvrt-bench; EXPERIMENTS.md "BENCH
+// reports").
+type (
+	// BenchReport is the schema of a BENCH_<n>.json throughput report.
+	BenchReport = benchfmt.Report
+	// BenchScenario is one scenario's row inside a BenchReport.
+	BenchScenario = benchfmt.Scenario
+)
+
+// ValidateBenchReport checks a decoded BENCH report for schema
+// completeness (every scenario named, rates positive, percentiles
+// ordered).
+func ValidateBenchReport(r *BenchReport) error { return benchfmt.Validate(r) }
+
+// ReadBenchReport loads and validates a BENCH_<n>.json file.
+func ReadBenchReport(path string) (*BenchReport, error) { return benchfmt.ReadFile(path) }
 
 // Hardware and CUDA substrate types.
 type (

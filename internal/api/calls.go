@@ -261,6 +261,15 @@ type Reply struct {
 	ID int64
 }
 
+// HDCopy describes one transfer of a host→device batch: Data carries
+// the real bytes (Size is then len(Data)) or, when nil, Size describes
+// a synthetic timing-only transfer.
+type HDCopy struct {
+	Dst  DevPtr
+	Data []byte
+	Size uint64
+}
+
 // Envelope frames a call with a sequence number on the wire.
 type Envelope struct {
 	Seq  uint64
@@ -272,6 +281,16 @@ type ReplyEnvelope struct {
 	Seq   uint64
 	Reply Reply
 }
+
+// Reset clears the envelope for reuse from a pool. gob's Decode merges
+// into whatever non-zero fields a value already holds, so a pooled
+// envelope must be zeroed before every decode.
+func (e *Envelope) Reset() { *e = Envelope{} }
+
+// Reset clears the reply envelope for reuse from a pool. Reply.Data is
+// dropped rather than truncated: decoded data escapes to the caller, so
+// its backing array must never be shared across calls.
+func (e *ReplyEnvelope) Reset() { *e = ReplyEnvelope{} }
 
 func init() {
 	gob.Register(RegisterFatBinaryCall{})

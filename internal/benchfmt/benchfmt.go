@@ -1,0 +1,196 @@
+// Package benchfmt defines the on-disk format of the repository's
+// macro-benchmark trajectory: the BENCH_<n>.json files written by
+// cmd/gvrt-bench, one per PR, never overwritten. Keeping the encoder
+// and validator in one importable package means the tool, the CI
+// smoke job and the golden-schema test all agree on the exact bytes —
+// the format cannot drift silently.
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Schema is the format identifier stamped into every report. Bump it
+// only with a migration note in EXPERIMENTS.md; the golden-schema test
+// in this package pins the rendered bytes.
+const Schema = "gvrt-bench/v1"
+
+// Report is one recorded benchmark run: the unit of the trajectory.
+type Report struct {
+	// Schema identifies the file format (always the Schema constant).
+	Schema string `json:"schema"`
+	// PR is the pull-request ordinal this report baselines (the <n> of
+	// BENCH_<n>.json).
+	PR int `json:"pr"`
+	// Label is a free-form description of the code state measured,
+	// e.g. "pre-sharding baseline" or "per-device shards".
+	Label string `json:"label,omitempty"`
+	// Quick marks reduced-scale runs (-quick); quick reports are for
+	// smoke gating, not trajectory comparison.
+	Quick bool `json:"quick"`
+	// Scenarios holds one entry per benchmark scenario, in run order.
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// Scenario is the measured outcome of one benchmark scenario.
+type Scenario struct {
+	// Name identifies the scenario ("multi-device", "multi-node",
+	// "swap-pressure", "paper-mix").
+	Name string `json:"name"`
+	// Sessions is the number of concurrent client sessions driven.
+	Sessions int `json:"sessions"`
+	// Calls is the total number of client calls served.
+	Calls int64 `json:"calls"`
+	// WallSeconds is the wall-clock duration of the measured phase.
+	WallSeconds float64 `json:"wall_seconds"`
+	// CallsPerSec is Calls / WallSeconds — the headline throughput.
+	CallsPerSec float64 `json:"calls_per_sec"`
+
+	// Latency quantiles are wall-clock microseconds derived from the
+	// runtime's model-time histograms (model × clock scale), so they
+	// are comparable across runs at the same scale regardless of the
+	// model/wall ratio chosen.
+	LaunchP50US    float64 `json:"launch_p50_us"`
+	LaunchP99US    float64 `json:"launch_p99_us"`
+	QueueWaitP50US float64 `json:"queue_wait_p50_us"`
+	QueueWaitP99US float64 `json:"queue_wait_p99_us"`
+	BindWaitP50US  float64 `json:"bind_wait_p50_us"`
+	BindWaitP99US  float64 `json:"bind_wait_p99_us"`
+
+	// SwapBytesPerSec is device→swap traffic per wall second.
+	SwapBytesPerSec float64 `json:"swap_bytes_per_sec"`
+	// SwapOps counts swap operations during the measured phase.
+	SwapOps int64 `json:"swap_ops"`
+	// H2DOps / H2DBytes expose transfer coalescing: batching shows up
+	// as fewer ops for the same bytes.
+	H2DOps   int64 `json:"h2d_ops"`
+	H2DBytes int64 `json:"h2d_bytes"`
+	// Offloaded counts sessions redirected to a peer node (multi-node
+	// scenario only).
+	Offloaded int64 `json:"offloaded,omitempty"`
+}
+
+// Encode renders the report as the canonical trajectory bytes:
+// two-space indented JSON with a trailing newline, fields in struct
+// order. Every writer must go through Encode so files are diffable.
+func Encode(r *Report) ([]byte, error) {
+	if r.Schema == "" {
+		r.Schema = Schema
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, fmt.Errorf("benchfmt: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Write encodes the report to w.
+func Write(w io.Writer, r *Report) error {
+	b, err := Encode(r)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// Decode parses report bytes and validates them.
+func Decode(b []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: decode: %w", err)
+	}
+	if err := Validate(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ReadFile loads and validates a trajectory file.
+func ReadFile(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}
+
+// Validate checks the structural invariants every trajectory file must
+// satisfy; the CI smoke job runs it against freshly emitted reports.
+func Validate(r *Report) error {
+	if r.Schema != Schema {
+		return fmt.Errorf("benchfmt: schema %q, want %q", r.Schema, Schema)
+	}
+	if r.PR < 0 {
+		return fmt.Errorf("benchfmt: negative PR ordinal %d", r.PR)
+	}
+	if len(r.Scenarios) == 0 {
+		return fmt.Errorf("benchfmt: report has no scenarios")
+	}
+	seen := make(map[string]bool, len(r.Scenarios))
+	for i, s := range r.Scenarios {
+		if s.Name == "" {
+			return fmt.Errorf("benchfmt: scenario %d has no name", i)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("benchfmt: duplicate scenario %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Sessions <= 0 {
+			return fmt.Errorf("benchfmt: scenario %q: sessions = %d", s.Name, s.Sessions)
+		}
+		if s.Calls <= 0 {
+			return fmt.Errorf("benchfmt: scenario %q: calls = %d", s.Name, s.Calls)
+		}
+		if s.WallSeconds <= 0 {
+			return fmt.Errorf("benchfmt: scenario %q: wall_seconds = %v", s.Name, s.WallSeconds)
+		}
+		if s.CallsPerSec <= 0 {
+			return fmt.Errorf("benchfmt: scenario %q: calls_per_sec = %v", s.Name, s.CallsPerSec)
+		}
+		if s.LaunchP99US < s.LaunchP50US {
+			return fmt.Errorf("benchfmt: scenario %q: launch p99 %v below p50 %v",
+				s.Name, s.LaunchP99US, s.LaunchP50US)
+		}
+	}
+	return nil
+}
+
+// Scenario returns the named scenario, nil when absent.
+func (r *Report) Scenario(name string) *Scenario {
+	for i := range r.Scenarios {
+		if r.Scenarios[i].Name == name {
+			return &r.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+// CompareP99 applies the trajectory regression gate: for every
+// scenario present in both reports, the candidate's p99 launch latency
+// must not exceed maxRatio times the baseline's. It returns a
+// description of each violation (empty slice = pass). Scenarios
+// missing from either side are skipped — the gate is generous by
+// design; it exists to catch order-of-magnitude regressions, not
+// noise.
+func CompareP99(baseline, candidate *Report, maxRatio float64) []string {
+	var bad []string
+	for _, cs := range candidate.Scenarios {
+		bs := baseline.Scenario(cs.Name)
+		if bs == nil || bs.LaunchP99US <= 0 {
+			continue
+		}
+		if cs.LaunchP99US > bs.LaunchP99US*maxRatio {
+			bad = append(bad, fmt.Sprintf(
+				"scenario %q: launch p99 %.1fus > %.1fx baseline %.1fus",
+				cs.Name, cs.LaunchP99US, maxRatio, bs.LaunchP99US))
+		}
+	}
+	return bad
+}

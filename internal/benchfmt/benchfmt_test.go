@@ -1,0 +1,127 @@
+package benchfmt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenReport is the fixture pinned by testdata/report_v1.golden. Any
+// change to the rendered bytes — field order, indentation, a renamed
+// JSON tag — breaks the trajectory's diffability and must show up here
+// as a deliberate golden update plus a schema bump.
+func goldenReport() *Report {
+	return &Report{
+		PR:    6,
+		Label: "golden fixture",
+		Scenarios: []Scenario{{
+			Name: "multi-device", Sessions: 16, Calls: 100000, WallSeconds: 2.5,
+			CallsPerSec: 40000, LaunchP50US: 2.2, LaunchP99US: 8.8,
+			QueueWaitP50US: 0.5, QueueWaitP99US: 3.5, BindWaitP50US: 1, BindWaitP99US: 9,
+			SwapBytesPerSec: 1048576, SwapOps: 12, H2DOps: 40, H2DBytes: 1 << 20,
+		}, {
+			Name: "multi-node", Sessions: 32, Calls: 50000, WallSeconds: 2,
+			CallsPerSec: 25000, LaunchP50US: 3, LaunchP99US: 15, Offloaded: 7,
+		}},
+	}
+}
+
+func TestGoldenSchema(t *testing.T) {
+	got, err := Encode(goldenReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "report_v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("encoded report drifted from golden schema\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	r, err := ReadFile(filepath.Join("testdata", "report_v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PR != 6 || len(r.Scenarios) != 2 {
+		t.Fatalf("golden decoded to PR=%d with %d scenarios", r.PR, len(r.Scenarios))
+	}
+	re, err := Encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := os.ReadFile(filepath.Join("testdata", "report_v1.golden"))
+	if !bytes.Equal(re, want) {
+		t.Error("decode → encode is not byte-stable")
+	}
+	if s := r.Scenario("multi-node"); s == nil || s.Offloaded != 7 {
+		t.Errorf("Scenario lookup: %+v", s)
+	}
+	if s := r.Scenario("nope"); s != nil {
+		t.Errorf("Scenario(nope) = %+v, want nil", s)
+	}
+}
+
+func TestEncodeStampsSchema(t *testing.T) {
+	r := goldenReport()
+	r.Schema = ""
+	if _, err := Encode(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != Schema {
+		t.Errorf("Encode left schema %q", r.Schema)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "gvrt-bench/v0" }},
+		{"negative pr", func(r *Report) { r.PR = -1 }},
+		{"no scenarios", func(r *Report) { r.Scenarios = nil }},
+		{"unnamed scenario", func(r *Report) { r.Scenarios[0].Name = "" }},
+		{"duplicate scenario", func(r *Report) { r.Scenarios[1].Name = r.Scenarios[0].Name }},
+		{"zero sessions", func(r *Report) { r.Scenarios[0].Sessions = 0 }},
+		{"zero calls", func(r *Report) { r.Scenarios[0].Calls = 0 }},
+		{"zero wall", func(r *Report) { r.Scenarios[0].WallSeconds = 0 }},
+		{"zero rate", func(r *Report) { r.Scenarios[0].CallsPerSec = 0 }},
+		{"p99 below p50", func(r *Report) { r.Scenarios[0].LaunchP99US = r.Scenarios[0].LaunchP50US / 2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := goldenReport()
+			r.Schema = Schema
+			tc.mutate(r)
+			if err := Validate(r); err == nil {
+				t.Error("Validate accepted a broken report")
+			}
+		})
+	}
+	ok := goldenReport()
+	ok.Schema = Schema
+	if err := Validate(ok); err != nil {
+		t.Errorf("Validate rejected the golden fixture: %v", err)
+	}
+}
+
+func TestCompareP99(t *testing.T) {
+	base := goldenReport()
+	cand := goldenReport()
+	if bad := CompareP99(base, cand, 2); len(bad) != 0 {
+		t.Errorf("identical reports flagged: %v", bad)
+	}
+	cand.Scenarios[0].LaunchP99US = base.Scenarios[0].LaunchP99US * 3
+	if bad := CompareP99(base, cand, 2); len(bad) != 1 {
+		t.Errorf("3x regression yielded %d violations, want 1: %v", len(bad), bad)
+	}
+	// Scenarios absent from the baseline are skipped, not flagged.
+	cand.Scenarios[0].Name = "brand-new"
+	if bad := CompareP99(base, cand, 2); len(bad) != 0 {
+		t.Errorf("unknown scenario flagged: %v", bad)
+	}
+}

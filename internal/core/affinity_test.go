@@ -46,16 +46,12 @@ func TestAppAffinityBindsSiblingsTogether(t *testing.T) {
 
 	// Both siblings must be on the same device, despite the balanced
 	// policy otherwise spreading load across devices.
-	env.rt.mu.Lock()
 	devices := map[int]int{}
-	for _, ds := range env.rt.devs {
-		for _, v := range ds.vgpus {
-			if v.bound != nil {
-				devices[ds.index]++
-			}
+	for _, ds := range env.rt.deviceList() {
+		if n := ds.activeVGPUs(); n > 0 {
+			devices[ds.index] += n
 		}
 	}
-	env.rt.mu.Unlock()
 	if len(devices) != 1 {
 		t.Errorf("siblings spread over %d devices (%v), want 1", len(devices), devices)
 	}
@@ -69,16 +65,12 @@ func TestAppAffinityBindsSiblingsTogether(t *testing.T) {
 	if err := launch(other); err != nil {
 		t.Fatal(err)
 	}
-	env.rt.mu.Lock()
 	spread := map[int]int{}
-	for _, ds := range env.rt.devs {
-		for _, v := range ds.vgpus {
-			if v.bound != nil {
-				spread[ds.index]++
-			}
+	for _, ds := range env.rt.deviceList() {
+		if n := ds.activeVGPUs(); n > 0 {
+			spread[ds.index] += n
 		}
 	}
-	env.rt.mu.Unlock()
 	if len(spread) != 2 {
 		t.Errorf("with an unrelated third app, bound devices = %v, want both devices used", spread)
 	}

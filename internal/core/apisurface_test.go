@@ -180,9 +180,7 @@ func TestPTXAnnotationDrivesPolicies(t *testing.T) {
 	env.rt.mu.Lock()
 	var pinned bool
 	for _, ctx := range env.rt.ctxs {
-		ctx.mu.Lock()
-		pinned = pinned || ctx.pinned
-		ctx.mu.Unlock()
+		pinned = pinned || ctx.pinned.Load()
 	}
 	env.rt.mu.Unlock()
 	if !pinned {

@@ -38,12 +38,17 @@ func (rt *Runtime) bindWait(ctx *Context) error {
 			return api.ErrNoDevice
 		}
 		if v := rt.pickFreeVGPULocked(ctx); v != nil {
-			v.bound = ctx
-			ctx.vgpu = v
+			// Claim under the device shard's lock: a concurrent device
+			// failure (which runs without rt.mu) may have killed the
+			// slot between pick and claim — then re-pick.
+			if !v.ds.tryClaim(v, ctx) {
+				continue
+			}
+			ctx.vgpu.Store(v)
 			rt.mu.Unlock()
 			return rt.onBind(ctx, v)
 		}
-		if !rt.anyHealthyLocked() {
+		if !rt.anyHealthy() {
 			rt.mu.Unlock()
 			return api.ErrNoDevice
 		}
@@ -64,13 +69,13 @@ func (rt *Runtime) bindWait(ctx *Context) error {
 		v := ctx.granted
 		ctx.granted = nil
 		if rt.closed {
-			if v != nil {
-				v.bound = nil
-			}
 			rt.mu.Unlock()
+			if v != nil {
+				v.ds.clearBound(v)
+			}
 			return api.ErrNoDevice
 		}
-		ctx.vgpu = v
+		ctx.vgpu.Store(v)
 		rt.mu.Unlock()
 		return rt.onBind(ctx, v)
 	}
@@ -91,10 +96,10 @@ func (rt *Runtime) onBind(ctx *Context, v *vGPU) error {
 	return nil
 }
 
-// anyHealthyLocked reports whether any device can still serve.
-func (rt *Runtime) anyHealthyLocked() bool {
-	for _, ds := range rt.devs {
-		if ds.healthy {
+// anyHealthy reports whether any device can still serve.
+func (rt *Runtime) anyHealthy() bool {
+	for _, ds := range rt.deviceList() {
+		if ds.healthy.Load() {
 			return true
 		}
 	}
@@ -112,8 +117,8 @@ func (rt *Runtime) siblingDeviceLocked(ctx *Context) *deviceState {
 		if other == ctx || other.appID != ctx.appID {
 			continue
 		}
-		if other.vgpu != nil {
-			return other.vgpu.ds
+		if v := other.vgpu.Load(); v != nil {
+			return v.ds
 		}
 	}
 	return nil
@@ -124,7 +129,7 @@ func (rt *Runtime) siblingDeviceLocked(ctx *Context) *deviceState {
 // thread is constrained to the sibling's device (§4.8).
 func (rt *Runtime) pickFreeVGPULocked(ctx *Context) *vGPU {
 	if sib := rt.siblingDeviceLocked(ctx); sib != nil {
-		if sib.healthy {
+		if sib.healthy.Load() {
 			return sib.freeVGPU()
 		}
 		return nil
@@ -132,14 +137,15 @@ func (rt *Runtime) pickFreeVGPULocked(ctx *Context) *vGPU {
 	var loads []sched.DeviceLoad
 	var states []*deviceState
 	for _, ds := range rt.devs {
-		if !ds.healthy || ds.freeVGPU() == nil {
+		if !ds.healthy.Load() || ds.freeVGPU() == nil {
 			continue
 		}
+		active := ds.activeVGPUs()
 		loads = append(loads, sched.DeviceLoad{
 			Index:        ds.index,
 			Speed:        ds.dev.Spec().Speed,
-			FreeVGPUs:    len(ds.vgpus) - ds.activeVGPUs(),
-			ActiveVGPUs:  ds.activeVGPUs(),
+			FreeVGPUs:    len(ds.slots()) - active,
+			ActiveVGPUs:  active,
 			MemAvailable: ds.dev.Available(),
 		})
 		states = append(states, ds)
@@ -171,8 +177,8 @@ func (rt *Runtime) dropWaiterLocked(ctx *Context) {
 // keeps track of fast GPUs becoming idle, and, in the absence of
 // pending jobs, it migrates running jobs from slow to fast GPUs").
 func (rt *Runtime) releaseVGPULocked(v *vGPU) {
-	v.bound = nil
-	if v.dead || !v.ds.healthy {
+	v.ds.clearBound(v)
+	if v.dead.Load() || !v.ds.healthy.Load() {
 		return
 	}
 	// Waiters whose application has a bound sibling elsewhere must not
@@ -195,10 +201,15 @@ func (rt *Runtime) releaseVGPULocked(v *vGPU) {
 		}
 		i := eligible[k]
 		w := rt.waiting[i]
+		// Re-claim under the shard lock: a device failure may have
+		// killed the slot since clearBound; then the waiter stays
+		// parked and recovery/re-admission will re-offer a slot.
+		if !v.ds.tryClaim(v, w) {
+			return
+		}
 		rt.waiting = append(rt.waiting[:i], rt.waiting[i+1:]...)
 		w.inWaiting = false
 		w.granted = v
-		v.bound = w
 		rt.cond.Broadcast()
 		return
 	}
@@ -225,14 +236,21 @@ func (rt *Runtime) tryMigrateLocked(v *vGPU, depth int) {
 	bestIdle := int64(-1)
 	var locked *Context
 	for _, ds := range rt.devs {
-		if !ds.healthy || ds.dev.Spec().Speed >= speed {
+		if !ds.healthy.Load() || ds.dev.Spec().Speed >= speed {
 			continue
 		}
-		for _, cand := range ds.vgpus {
-			c := cand.bound
+		ds.mu.Lock()
+		cands := append([]*vGPU(nil), ds.vgpus...)
+		bounds := make([]*Context, len(cands))
+		for i, cand := range cands {
+			bounds[i] = cand.bound
+		}
+		ds.mu.Unlock()
+		for i, cand := range cands {
+			c := bounds[i]
 			// Threads of a multi-threaded application are not migrated
 			// independently (§4.8: they may share device data).
-			if c == nil || c.pinned || c.exited || c.appID != "" {
+			if c == nil || c.pinned.Load() || c.exited.Load() || c.appID != "" {
 				continue
 			}
 			idle := c.lastActiveNS.Load()
@@ -256,8 +274,18 @@ func (rt *Runtime) tryMigrateLocked(v *vGPU, depth int) {
 		return
 	}
 	// Reserve the destination slot and commit intent before unlocking
-	// the runtime for the slow swap work.
-	v.bound = victim
+	// the runtime for the slow swap work. The victim's own slot stays
+	// claimed (oldV.bound == victim) until the migration resolves.
+	claimed := v.ds.tryClaim(v, victim)
+	if !claimed || victim.vgpu.Load() != oldV {
+		// The destination died/got taken, or the victim moved on its
+		// own since the scan; undo a successful claim and give up.
+		if claimed {
+			v.ds.clearBoundIf(v, victim)
+		}
+		victim.mu.Unlock()
+		return
+	}
 	rt.mu.Unlock()
 
 	err := func() error {
@@ -278,17 +306,17 @@ func (rt *Runtime) tryMigrateLocked(v *vGPU, depth int) {
 		// Migration failed (e.g. source device died mid-swap); leave
 		// the victim unbound so its own recovery path kicks in.
 		rt.logf("migration of ctx %d failed: %v", victim.id, err)
-		v.bound = nil
-		if victim.vgpu == oldV {
-			victim.vgpu = nil
-			victim.needsRecovery = true
-			oldV.bound = nil
+		v.ds.clearBoundIf(v, victim)
+		if victim.vgpu.Load() == oldV {
+			victim.vgpu.Store(nil)
+			victim.needsRecovery.Store(true)
+			oldV.ds.clearBoundIf(oldV, victim)
 		}
 		victim.mu.Unlock()
 		return
 	}
-	victim.vgpu = v
-	oldV.bound = nil
+	victim.vgpu.Store(v)
+	oldV.ds.clearBoundIf(oldV, victim)
 	rt.migrations.Add(1)
 	rt.logf("migrated ctx %d from %s to %s", victim.id, oldV.name, v.name)
 	rt.event(trace.KindMigration, victim.id, 0, v.ds.index, oldV.name+" -> "+v.name)
@@ -308,10 +336,8 @@ func (rt *Runtime) AddDevice(d *gpu.Device) (int, error) {
 	}
 	rt.mu.Lock()
 	ds := rt.devs[len(rt.devs)-1]
-	for _, v := range ds.vgpus {
-		if v.bound == nil {
-			rt.releaseVGPULocked(v)
-		}
+	for _, v := range ds.slots() {
+		rt.releaseVGPULocked(v)
 	}
 	rt.mu.Unlock()
 	return idx, nil
@@ -321,54 +347,44 @@ func (rt *Runtime) AddDevice(d *gpu.Device) (int, error) {
 // bound contexts are checkpointed to swap and unbound, then the device
 // is marked removed. Their next kernel launches re-bind elsewhere.
 func (rt *Runtime) RemoveDevice(index int) error {
-	rt.mu.Lock()
 	var ds *deviceState
-	for _, d := range rt.devs {
+	for _, d := range rt.deviceList() {
 		if d.index == index {
 			ds = d
 			break
 		}
 	}
 	if ds == nil {
-		rt.mu.Unlock()
 		return api.ErrInvalidDevice
 	}
-	ds.healthy = false // no new binds
-	vgpus := append([]*vGPU(nil), ds.vgpus...)
-	rt.mu.Unlock()
+	ds.healthy.Store(false) // no new binds
+	vgpus := ds.slots()
 
 	for _, v := range vgpus {
-		rt.mu.Lock()
+		ds.mu.Lock()
 		c := v.bound
-		rt.mu.Unlock()
+		ds.mu.Unlock()
 		if c == nil {
-			rt.mu.Lock()
-			v.dead = true
-			rt.mu.Unlock()
+			v.dead.Store(true)
 			continue
 		}
 		// Blocking acquisition is safe here: this is an administrative
 		// goroutine holding no other locks.
 		c.mu.Lock()
-		rt.mu.Lock()
-		still := c.vgpu == v
-		rt.mu.Unlock()
-		if still {
+		if c.vgpu.Load() == v {
 			if _, err := rt.mm.SwapOutAll(c.id, v.cuctx); err != nil {
 				// Device died during graceful removal; fall back to the
 				// failure path.
 				rt.mm.InvalidateResidency(c.id)
 			}
 			c.clearReplay()
-			rt.mu.Lock()
-			c.vgpu = nil
+			c.vgpu.Store(nil)
+			ds.mu.Lock()
 			v.bound = nil
-			v.dead = true
-			rt.mu.Unlock()
+			v.dead.Store(true)
+			ds.mu.Unlock()
 		} else {
-			rt.mu.Lock()
-			v.dead = true
-			rt.mu.Unlock()
+			v.dead.Store(true)
 		}
 		c.mu.Unlock()
 	}

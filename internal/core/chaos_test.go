@@ -197,10 +197,10 @@ func TestChaos(t *testing.T) {
 	env.rt.mu.Lock()
 	var leaks []string
 	for _, ds := range env.rt.devs {
-		if !ds.healthy {
+		if !ds.healthy.Load() {
 			continue
 		}
-		want := ds.dev.Capacity() - uint64(len(ds.vgpus))*1024
+		want := ds.dev.Capacity() - uint64(len(ds.slots()))*1024
 		if got := ds.dev.Available(); got != want {
 			leaks = append(leaks, fmt.Sprintf("dev %d: %d != %d", ds.index, got, want))
 		}

@@ -32,15 +32,21 @@ type Context struct {
 
 	mu sync.Mutex
 
-	// Guarded by rt.mu.
-	appID         string
-	vgpu          *vGPU
-	granted       *vGPU
-	grantRejected bool
-	inWaiting     bool
-	needsRecovery bool
-	exited        bool
-	arrived       time.Duration
+	// Guarded by rt.mu (scheduler state: waiting-list membership and
+	// the grant hand-off).
+	appID     string
+	granted   *vGPU
+	inWaiting bool
+	arrived   time.Duration
+
+	// Lock-free binding state. vgpu is written by the owner (bind,
+	// unbind, recovery) and by device failure/removal detaching the
+	// context; every hot-path read (boundVGPU) is a plain atomic load,
+	// which is what lets the per-call path skip the scheduler lock
+	// entirely (DESIGN.md §11).
+	vgpu          atomic.Pointer[vGPU]
+	needsRecovery atomic.Bool
+	exited        atomic.Bool
 
 	// Owner-goroutine state (under mu).
 	binaries   map[string]api.FatBinary
@@ -48,12 +54,19 @@ type Context struct {
 	replayRefs map[api.DevPtr]bool
 	// pinned marks contexts excluded from sharing and dynamic
 	// scheduling because their kernels allocate device memory
-	// dynamically (§1).
-	pinned bool
+	// dynamically (§1). Written by the owner, read by swap/migration
+	// victim scans, hence atomic.
+	pinned atomic.Bool
 	// curSpan is the in-flight call's root span ID; phase children
 	// (queue-wait, bind, swap-in, launch, recovery) parent to it. Only
 	// the dispatcher goroutine reads or writes it.
 	curSpan trace.SpanID
+	// Launch-path scratch (under mu), reused call to call so the hot
+	// path stays allocation-free. Nothing downstream retains these: the
+	// replay log and journal record the client's original call.
+	scratchPTEs []*memmgr.PTE
+	scratchOffs []uint64
+	scratchArgs []api.DevPtr
 
 	gpuTimeNS    atomic.Int64
 	nextKernelNS atomic.Int64
@@ -167,20 +180,20 @@ func (rt *Runtime) teardown(ctx *Context) {
 	ctx.mu.Lock()
 	defer ctx.mu.Unlock()
 	var ops memmgr.DeviceOps
+	ctx.exited.Store(true)
 	rt.mu.Lock()
-	ctx.exited = true
 	if ctx.inWaiting {
 		rt.dropWaiterLocked(ctx)
 	}
-	v := ctx.vgpu
 	rt.mu.Unlock()
+	v := ctx.vgpu.Load()
 	if v != nil {
 		ops = v.cuctx
 	}
 	rt.mm.ReleaseContext(ctx.id, ops)
 	if v != nil {
 		rt.mu.Lock()
-		ctx.vgpu = nil
+		ctx.vgpu.Store(nil)
 		rt.releaseVGPULocked(v)
 		rt.mu.Unlock()
 	}
@@ -403,11 +416,10 @@ func (rt *Runtime) memcpyDD(ctx *Context, c api.MemcpyDDCall) error {
 	})
 }
 
-// boundVGPU returns the context's vGPU under rt.mu.
+// boundVGPU returns the context's vGPU. A lock-free atomic load: this
+// sits on every device-touching call, several times per launch.
 func (rt *Runtime) boundVGPU(ctx *Context) *vGPU {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return ctx.vgpu
+	return ctx.vgpu.Load()
 }
 
 // boundOps returns the context's device operations, or nil when
@@ -426,10 +438,7 @@ func (rt *Runtime) boundOps(ctx *Context) memmgr.DeviceOps {
 func (rt *Runtime) checkpoint(ctx *Context) (err error) {
 	sp := rt.beginSpan("checkpoint", ctx.id, ctx.curSpan)
 	defer func() { sp.endIfTimed(-1, "", err) }()
-	rt.mu.Lock()
-	nr := ctx.needsRecovery
-	rt.mu.Unlock()
-	if nr && len(ctx.replay) > 0 {
+	if ctx.needsRecovery.Load() && len(ctx.replay) > 0 {
 		// The device state the log describes is gone (device failure, or
 		// a session resumed after a daemon restart): regenerate it by
 		// replay before flushing — clearing the log instead would

@@ -384,15 +384,11 @@ func TestFailureRecoveryPreservesData(t *testing.T) {
 	}
 	// The kernel's output (101) lives only on device 0. Kill it.
 	var boundDev int
-	env.rt.mu.Lock()
-	for _, ds := range env.rt.devs {
-		for _, v := range ds.vgpus {
-			if v.bound != nil {
-				boundDev = ds.index
-			}
+	for _, ds := range env.rt.deviceList() {
+		if ds.activeVGPUs() > 0 {
+			boundDev = ds.index
 		}
 	}
-	env.rt.mu.Unlock()
 	env.rt.FailDevice(boundDev)
 
 	// Next launch must recover on the other device and replay.
@@ -430,15 +426,11 @@ func TestCheckpointAvoidsReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	var boundDev int
-	env.rt.mu.Lock()
-	for _, ds := range env.rt.devs {
-		for _, v := range ds.vgpus {
-			if v.bound != nil {
-				boundDev = ds.index
-			}
+	for _, ds := range env.rt.deviceList() {
+		if ds.activeVGPUs() > 0 {
+			boundDev = ds.index
 		}
 	}
-	env.rt.mu.Unlock()
 	env.rt.FailDevice(boundDev)
 
 	out, err := c.MemcpyDH(p, 1)
@@ -624,15 +616,11 @@ func TestRemoveDeviceGraceful(t *testing.T) {
 		t.Fatal(err)
 	}
 	var boundDev int
-	env.rt.mu.Lock()
-	for _, ds := range env.rt.devs {
-		for _, v := range ds.vgpus {
-			if v.bound != nil {
-				boundDev = ds.index
-			}
+	for _, ds := range env.rt.deviceList() {
+		if ds.activeVGPUs() > 0 {
+			boundDev = ds.index
 		}
 	}
-	env.rt.mu.Unlock()
 
 	if err := env.rt.RemoveDevice(boundDev); err != nil {
 		t.Fatal(err)

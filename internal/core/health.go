@@ -49,7 +49,7 @@ func (rt *Runtime) healthMonitor() {
 		}
 		var sick []*deviceState
 		for _, ds := range rt.devs {
-			if !ds.healthy && !ds.dev.Removed() {
+			if !ds.healthy.Load() && !ds.dev.Removed() {
 				sick = append(sick, ds)
 			}
 		}
@@ -90,11 +90,13 @@ func (rt *Runtime) probeDevice(ds *deviceState) bool {
 // recovery (which carries Device -1).
 func (rt *Runtime) readmitDevice(ds *deviceState) {
 	rt.mu.Lock()
-	if ds.healthy || rt.closed {
+	if ds.healthy.Load() || rt.closed {
 		rt.mu.Unlock()
 		return
 	}
+	ds.mu.Lock()
 	old := ds.vgpus
+	ds.mu.Unlock()
 	rt.mu.Unlock()
 
 	// Clear the dead workers first so their context slots and memory
@@ -119,7 +121,7 @@ func (rt *Runtime) readmitDevice(ds *deviceState) {
 	}
 
 	rt.mu.Lock()
-	if ds.healthy || rt.closed {
+	if ds.healthy.Load() || rt.closed {
 		rt.mu.Unlock()
 		for _, c := range fresh {
 			c.Destroy()
@@ -134,14 +136,15 @@ func (rt *Runtime) readmitDevice(ds *deviceState) {
 			cuctx: cuctx,
 		}
 	}
+	ds.mu.Lock()
 	ds.vgpus = vgpus
-	ds.healthy = true
+	ds.mu.Unlock()
+	ds.healthy.Store(true)
 	// Offer every new slot to the waiting list, exactly like a hot-added
-	// device (§2's dynamic upgrade).
+	// device (§2's dynamic upgrade). The fresh slots are unbound by
+	// construction.
 	for _, v := range vgpus {
-		if v.bound == nil {
-			rt.releaseVGPULocked(v)
-		}
+		rt.releaseVGPULocked(v)
 	}
 	rt.mu.Unlock()
 

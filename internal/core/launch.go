@@ -25,10 +25,10 @@ func (rt *Runtime) launch(ctx *Context, call api.LaunchCall) error {
 	if err != nil {
 		return err
 	}
-	if meta.UsesDynamicAlloc && !ctx.pinned {
+	if meta.UsesDynamicAlloc && !ctx.pinned.Load() {
 		// Applications that allocate device memory from kernels are
 		// served but excluded from sharing and dynamic scheduling (§1).
-		ctx.pinned = true
+		ctx.pinned.Store(true)
 		rt.logf("ctx %d pinned: kernel %s uses dynamic device allocation", ctx.id, call.Kernel)
 	}
 	if meta.UsesNestedPointers {
@@ -42,15 +42,17 @@ func (rt *Runtime) launch(ctx *Context, call api.LaunchCall) error {
 
 	// Resolve the virtual pointer arguments; a bad pointer is rejected
 	// here, before ever reaching the device (§4.5).
-	ptes := make([]*memmgr.PTE, len(call.PtrArgs))
-	offs := make([]uint64, len(call.PtrArgs))
-	for i, p := range call.PtrArgs {
+	ptes := ctx.scratchPTEs[:0]
+	offs := ctx.scratchOffs[:0]
+	for _, p := range call.PtrArgs {
 		pte, off, err := rt.mm.Resolve(p)
 		if err != nil || pte.CtxID() != ctx.id {
 			return api.ErrInvalidDevicePointer
 		}
-		ptes[i], offs[i] = pte, off
+		ptes = append(ptes, pte)
+		offs = append(offs, off)
 	}
+	ctx.scratchPTEs, ctx.scratchOffs = ptes, offs
 
 	kernelTime := time.Duration(call.Launches()) * meta.BaseTime
 	ctx.nextKernelNS.Store(int64(kernelTime))
@@ -99,10 +101,11 @@ func (rt *Runtime) launch(ctx *Context, call api.LaunchCall) error {
 		}
 
 		devCall := call
-		devCall.PtrArgs = make([]api.DevPtr, len(ptes))
+		devCall.PtrArgs = ctx.scratchArgs[:0]
 		for i, pte := range ptes {
-			devCall.PtrArgs[i] = pte.Device + api.DevPtr(offs[i])
+			devCall.PtrArgs = append(devCall.PtrArgs, pte.Device+api.DevPtr(offs[i]))
 		}
+		ctx.scratchArgs = devCall.PtrArgs
 		esp := rt.beginSpan("launch", ctx.id, ctx.curSpan)
 		err := v.cuctx.Launch(devCall)
 		esp.end(v.ds.index, call.Kernel, err)
@@ -123,7 +126,7 @@ func (rt *Runtime) launch(ctx *Context, call api.LaunchCall) error {
 
 		rt.mm.MarkKernelEffects(ptes, call.ReadOnly)
 		ctx.gpuTimeNS.Add(int64(kernelTime))
-		ctx.recordReplay(call)
+		ctx.recordReplayResolved(call, ptes)
 
 		// Write-ahead commit: the launch is only acknowledged once the
 		// journal has it durably; a failure here surfaces to the client
@@ -174,18 +177,23 @@ func (ctx *Context) recordReplay(call api.LaunchCall) {
 	}
 }
 
+// recordReplayResolved is recordReplay for the launch hot path, which
+// already resolved every pointer argument: reuse those entries instead
+// of a second page-table lookup per argument.
+func (ctx *Context) recordReplayResolved(call api.LaunchCall, ptes []*memmgr.PTE) {
+	ctx.replay = append(ctx.replay, call)
+	for _, pte := range ptes {
+		ctx.replayRefs[pte.Virtual] = true
+	}
+}
+
 // ensureBound binds the context if necessary and clears any pending
-// recovery first.
+// recovery first. Lock-free on the already-bound fast path.
 func (rt *Runtime) ensureBound(ctx *Context) error {
-	rt.mu.Lock()
-	nr := ctx.needsRecovery
-	ctx.needsRecovery = false
-	bound := ctx.vgpu != nil
-	rt.mu.Unlock()
-	if nr {
+	if ctx.needsRecovery.CompareAndSwap(true, false) {
 		return rt.recover(ctx)
 	}
-	if bound {
+	if ctx.vgpu.Load() != nil {
 		return nil
 	}
 	return rt.bind(ctx)
@@ -195,27 +203,35 @@ func (rt *Runtime) ensureBound(ctx *Context) error {
 // device even when fully alone.
 func (rt *Runtime) checkFits(ptes []*memmgr.PTE) error {
 	var need uint64
-	seen := make(map[api.DevPtr]bool)
-	for _, pte := range ptes {
-		if seen[pte.Virtual] {
+	for i, pte := range ptes {
+		if dupPTE(ptes, i) {
 			continue
 		}
-		seen[pte.Virtual] = true
 		need += pte.Size
 	}
 	reservation := rt.crt.ContextReservation()
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	for _, ds := range rt.devs {
-		if !ds.healthy {
+	for _, ds := range rt.deviceList() {
+		if !ds.healthy.Load() {
 			continue
 		}
-		reserve := uint64(len(ds.vgpus)) * reservation
+		reserve := uint64(ds.nslots) * reservation
 		if ds.dev.Capacity() >= need+reserve {
 			return nil
 		}
 	}
 	return api.ErrMemoryAllocation
+}
+
+// dupPTE reports whether ptes[i] already appeared earlier in the
+// argument list. Kernel launches reference a handful of buffers, so a
+// quadratic scan beats allocating a set on every call.
+func dupPTE(ptes []*memmgr.PTE, i int) bool {
+	for _, prev := range ptes[:i] {
+		if prev.Virtual == ptes[i].Virtual {
+			return true
+		}
+	}
+	return false
 }
 
 // ensureResident makes every referenced entry device-resident on the
@@ -230,12 +246,13 @@ func (rt *Runtime) checkFits(ptes []*memmgr.PTE) error {
 // catch fragmentation.
 func (rt *Runtime) ensureResident(ctx *Context, v *vGPU, ptes []*memmgr.PTE) error {
 	var missing uint64
-	seen := make(map[api.DevPtr]bool, len(ptes))
-	for _, pte := range ptes {
-		if !seen[pte.Virtual] && !pte.IsAllocated {
+	for i, pte := range ptes {
+		if dupPTE(ptes, i) {
+			continue
+		}
+		if !pte.IsAllocated {
 			missing += pte.Size
 		}
-		seen[pte.Virtual] = true
 	}
 	// Accounting-first: free enough device memory for the whole launch.
 	for attempt := 0; missing > v.ds.dev.Available(); attempt++ {
@@ -253,7 +270,7 @@ func (rt *Runtime) ensureResident(ctx *Context, v *vGPU, ptes []*memmgr.PTE) err
 	}
 	for _, pte := range ptes {
 		for {
-			err := rt.mm.MakeResident(pte, v.cuctx)
+			err := rt.mm.EnsureAllocated(pte, v.cuctx)
 			if err == nil {
 				break
 			}
@@ -277,6 +294,14 @@ func (rt *Runtime) ensureResident(ctx *Context, v *vGPU, ptes []*memmgr.PTE) err
 			}
 			return api.ErrMemoryAllocation
 		}
+	}
+	// With the whole working set allocated, land the deferred transfers
+	// of this binding epoch in one batched copy-engine submission.
+	if err := rt.mm.FlushDeferred(ptes, v.cuctx); err != nil {
+		if errors.Is(err, api.ErrDeviceUnavailable) {
+			rt.onDeviceFailure(v.ds)
+		}
+		return err
 	}
 	return nil
 }
@@ -318,18 +343,19 @@ func (rt *Runtime) intraSwap(ctx *Context, v *vGPU, exclude []*memmgr.PTE) bool 
 // call may not [accept]" (§4.5). On success the victim's whole page
 // table is swapped out and it is unbound from its vGPU.
 func (rt *Runtime) interSwap(ctx *Context, v *vGPU, needed uint64) bool {
-	rt.mu.Lock()
+	ds := v.ds
+	ds.mu.Lock()
 	var candidates []*Context
 	var slots []*vGPU
-	for _, cand := range v.ds.vgpus {
+	for _, cand := range ds.vgpus {
 		c := cand.bound
-		if c == nil || c == ctx || c.pinned || c.exited {
+		if c == nil || c == ctx || c.pinned.Load() || c.exited.Load() {
 			continue
 		}
 		candidates = append(candidates, c)
 		slots = append(slots, cand)
 	}
-	rt.mu.Unlock()
+	ds.mu.Unlock()
 
 	now := rt.clock.Now()
 	minIdle := rt.cfg.minVictimIdle()
@@ -342,9 +368,7 @@ func (rt *Runtime) interSwap(ctx *Context, v *vGPU, needed uint64) bool {
 		if !victim.mu.TryLock() {
 			continue // mid-call: the request is not honoured
 		}
-		rt.mu.Lock()
-		still := victim.vgpu == slots[i] && !victim.exited
-		rt.mu.Unlock()
+		still := victim.vgpu.Load() == slots[i] && !victim.exited.Load()
 		if !still {
 			victim.mu.Unlock()
 			continue
@@ -366,8 +390,8 @@ func (rt *Runtime) interSwap(ctx *Context, v *vGPU, needed uint64) bool {
 		}
 		victim.clearReplay() // fully swapped out == checkpointed
 		rt.journalSnapshotLogged(victim.id)
+		victim.vgpu.Store(nil)
 		rt.mu.Lock()
-		victim.vgpu = nil
 		rt.releaseVGPULocked(slots[i])
 		rt.mu.Unlock()
 		victim.mu.Unlock()
@@ -388,21 +412,18 @@ func (rt *Runtime) unbindSelf(ctx *Context, v *vGPU) {
 	if _, err := rt.mm.SwapOutAll(ctx.id, v.cuctx); err != nil {
 		if errors.Is(err, api.ErrDeviceUnavailable) {
 			rt.onDeviceFailure(v.ds)
-			rt.mu.Lock()
-			ctx.needsRecovery = true
-			rt.mu.Unlock()
+			ctx.needsRecovery.Store(true)
 			return
 		}
 		rt.mm.InvalidateResidency(ctx.id)
 	}
 	ctx.clearReplay()
 	rt.journalSnapshotLogged(ctx.id)
-	rt.mu.Lock()
-	if ctx.vgpu == v {
-		ctx.vgpu = nil
+	if ctx.vgpu.CompareAndSwap(v, nil) {
+		rt.mu.Lock()
 		rt.releaseVGPULocked(v)
+		rt.mu.Unlock()
 	}
-	rt.mu.Unlock()
 	rt.event(trace.KindUnbind, ctx.id, 0, v.ds.index, "memory retry")
 }
 
@@ -410,21 +431,21 @@ func (rt *Runtime) unbindSelf(ctx *Context, v *vGPU) {
 // bound to it; each context recovers lazily on its next device-touching
 // call (§4.6: failed contexts are enqueued for recovery).
 func (rt *Runtime) onDeviceFailure(ds *deviceState) {
-	rt.mu.Lock()
-	if !ds.healthy {
-		rt.mu.Unlock()
+	ds.mu.Lock()
+	if !ds.healthy.Load() {
+		ds.mu.Unlock()
 		return
 	}
-	ds.healthy = false
+	ds.healthy.Store(false)
 	for _, v := range ds.vgpus {
-		v.dead = true
+		v.dead.Store(true)
 		if c := v.bound; c != nil {
-			c.needsRecovery = true
-			c.vgpu = nil
+			c.needsRecovery.Store(true)
+			c.vgpu.Store(nil)
 			v.bound = nil
 		}
 	}
-	rt.mu.Unlock()
+	ds.mu.Unlock()
 	rt.deviceFailures.Add(1)
 	rt.logf("device %d (%s) failed", ds.index, ds.dev.Spec().Name)
 	rt.event(trace.KindFailure, 0, 0, ds.index, ds.dev.Spec().Name)
@@ -446,13 +467,11 @@ func (rt *Runtime) recover(ctx *Context) (err error) {
 	defer func() {
 		sp.end(-1, fmt.Sprintf("%d kernels replayed", replayed), err)
 	}()
-	rt.mu.Lock()
-	if v := ctx.vgpu; v != nil && (v.dead || !v.ds.healthy) {
-		ctx.vgpu = nil
+	if v := ctx.vgpu.Load(); v != nil && (v.dead.Load() || !v.ds.healthy.Load()) {
+		ctx.vgpu.Store(nil)
 	}
-	ctx.needsRecovery = false
-	stillBound := ctx.vgpu != nil
-	rt.mu.Unlock()
+	ctx.needsRecovery.Store(false)
+	stillBound := ctx.vgpu.Load() != nil
 
 	if !stillBound {
 		rt.mm.InvalidateResidency(ctx.id)
@@ -512,15 +531,13 @@ func (rt *Runtime) recover(ctx *Context) (err error) {
 // FailDevice injects a device failure (test/experiment hook): the
 // physical device starts erroring and the runtime notices immediately.
 func (rt *Runtime) FailDevice(index int) {
-	rt.mu.Lock()
 	var ds *deviceState
-	for _, d := range rt.devs {
+	for _, d := range rt.deviceList() {
 		if d.index == index {
 			ds = d
 			break
 		}
 	}
-	rt.mu.Unlock()
 	if ds == nil {
 		return
 	}

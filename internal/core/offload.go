@@ -46,15 +46,15 @@ func (rt *Runtime) peerAvailable() bool {
 // capacity once every admitted thread reaches its first kernel launch.
 func (rt *Runtime) projectedQueue(admitted int) int {
 	vgpus := 0
-	rt.mu.Lock()
-	for _, ds := range rt.devs {
-		if ds.healthy {
-			vgpus += len(ds.vgpus)
+	for _, ds := range rt.deviceList() {
+		if ds.healthy.Load() {
+			vgpus += ds.nslots
 		}
 	}
 	// Live contexts lag admissions by a beat (the dispatcher goroutine
 	// registers them); take whichever count is larger so simultaneous
 	// arrivals and long-lived threads are both seen.
+	rt.mu.Lock()
 	if l := len(rt.ctxs) + 1; l > admitted {
 		admitted = l
 	}

@@ -134,7 +134,7 @@ func (rt *Runtime) resume(ctx *Context, id int64) api.Error {
 		}
 		return api.ErrInvalidValue
 	}
-	if ctx.vgpu != nil || ctx.inWaiting {
+	if ctx.vgpu.Load() != nil || ctx.inWaiting {
 		rt.mu.Unlock()
 		return api.ErrInvalidValue
 	}
@@ -153,7 +153,7 @@ func (rt *Runtime) resume(ctx *Context, id int64) api.Error {
 		// The kernels committed since the session's last checkpoint must
 		// re-run before their outputs are read; ensureBound and the
 		// checkpoint-first guards trigger the replay lazily (§4.6).
-		ctx.needsRecovery = true
+		ctx.needsRecovery.Store(true)
 	}
 	rt.mu.Unlock()
 	for _, call := range pending {

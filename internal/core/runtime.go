@@ -175,34 +175,94 @@ func (c *Config) minVictimIdle() time.Duration {
 }
 
 // vGPU is a virtual GPU: one sharing slot of a physical device, owning
-// a persistent CUDA context created at startup (§4.4). Binding state is
-// guarded by the runtime mutex.
+// a persistent CUDA context created at startup (§4.4). bound is guarded
+// by the owning device's shard mutex (deviceState.mu); dead is an
+// atomic so the hot path can check slot liveness lock-free.
 type vGPU struct {
 	name  string
 	ds    *deviceState
 	cuctx *cudart.Context
 	bound *Context
-	dead  bool
+	dead  atomic.Bool
 }
 
-// deviceState tracks one physical device and its vGPUs.
+// deviceState is one per-device shard (DESIGN.md §11): it tracks a
+// physical device, its vGPU slots, and their binding occupancy under
+// its own mutex, so slot traffic on one device never contends with
+// another's. healthy is atomic for lock-free reads on the hot path.
+//
+// Lock order: ctx.mu → rt.mu → ds.mu → memmgr shard. A ds.mu holder
+// never takes rt.mu or another device's ds.mu.
 type deviceState struct {
 	index   int
 	dev     *gpu.Device
-	vgpus   []*vGPU
-	healthy bool
+	healthy atomic.Bool
+	// nslots is len(vgpus), written once before the shard is published.
+	// Re-admission rebuilds vgpus but always at the configured count, so
+	// hot paths (checkFits, projectedQueue) read this without ds.mu.
+	nslots int
+
+	mu    sync.Mutex
+	vgpus []*vGPU
 }
 
+// slots snapshots the shard's vGPU slice (replaced wholesale on
+// re-admission, never mutated in place).
+func (ds *deviceState) slots() []*vGPU {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.vgpus
+}
+
+// freeVGPU returns an unbound live slot, nil when none. The returned
+// slot must still be claimed under ds.mu (tryClaim) — another party
+// may take it first.
 func (ds *deviceState) freeVGPU() *vGPU {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.freeVGPUShardLocked()
+}
+
+func (ds *deviceState) freeVGPUShardLocked() *vGPU {
 	for _, v := range ds.vgpus {
-		if v.bound == nil && !v.dead {
+		if v.bound == nil && !v.dead.Load() {
 			return v
 		}
 	}
 	return nil
 }
 
+// tryClaim binds ctx to v if the slot is still free and live.
+func (ds *deviceState) tryClaim(v *vGPU, ctx *Context) bool {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if v.bound != nil || v.dead.Load() {
+		return false
+	}
+	v.bound = ctx
+	return true
+}
+
+// clearBound unbinds the slot unconditionally.
+func (ds *deviceState) clearBound(v *vGPU) {
+	ds.mu.Lock()
+	v.bound = nil
+	ds.mu.Unlock()
+}
+
+// clearBoundIf unbinds the slot only while it is still bound to ctx —
+// rollback paths use it so they cannot clobber a re-granted slot.
+func (ds *deviceState) clearBoundIf(v *vGPU, ctx *Context) {
+	ds.mu.Lock()
+	if v.bound == ctx {
+		v.bound = nil
+	}
+	ds.mu.Unlock()
+}
+
 func (ds *deviceState) activeVGPUs() int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	n := 0
 	for _, v := range ds.vgpus {
 		if v.bound != nil {
@@ -267,6 +327,11 @@ type Runtime struct {
 	// disk (see journal.go). Set once at boot, read without rt.mu.
 	journal *ckptlog.Journal
 
+	// mu is the narrow cross-device scheduler lock (DESIGN.md §11):
+	// it guards the waiting list, grant hand-off, the context registry
+	// and the device-list slice — the state that coordinates *across*
+	// devices. Per-device slot state lives in each deviceState shard;
+	// per-context memory state in the memory manager's shards.
 	mu      sync.Mutex
 	cond    *sync.Cond
 	devs    []*deviceState
@@ -283,6 +348,12 @@ type Runtime struct {
 	nextCtx       int64
 	closed        bool
 	healthRunning bool
+
+	// devList is a copy-on-write snapshot of devs, refreshed under
+	// rt.mu whenever the device list changes; hot-path readers
+	// (checkFits, VGPUCount, Metrics, the monitors) load it without
+	// taking the scheduler lock.
+	devList atomic.Pointer[[]*deviceState]
 
 	// timings holds the runtime's latency/size histograms. Always
 	// live (Observe is lock-free and cheap), independent of cfg.Trace.
@@ -362,8 +433,8 @@ func (rt *Runtime) migrationMonitor() {
 		}
 		if len(rt.waiting) == 0 {
 			var best *vGPU
-			for _, ds := range rt.devs {
-				if !ds.healthy {
+			for _, ds := range rt.deviceList() {
+				if !ds.healthy.Load() {
 					continue
 				}
 				if v := ds.freeVGPU(); v != nil {
@@ -382,7 +453,8 @@ func (rt *Runtime) migrationMonitor() {
 
 // addDeviceState creates the vGPUs for device index i.
 func (rt *Runtime) addDeviceState(i int) error {
-	ds := &deviceState{index: i, dev: rt.crt.Device(i), healthy: true}
+	ds := &deviceState{index: i, dev: rt.crt.Device(i)}
+	ds.healthy.Store(true)
 	// Arm the device's fault hooks here so hot-added devices (AddDevice
 	// during a chaos run) are covered the same as boot-time ones.
 	ds.dev.InstallFaults(rt.cfg.Faults)
@@ -397,10 +469,29 @@ func (rt *Runtime) addDeviceState(i int) error {
 			cuctx: cuctx,
 		})
 	}
+	ds.nslots = len(ds.vgpus)
 	rt.mu.Lock()
 	rt.devs = append(rt.devs, ds)
+	rt.refreshDeviceListLocked()
 	rt.mu.Unlock()
 	return nil
+}
+
+// refreshDeviceListLocked republishes the COW device-list snapshot.
+// Caller holds rt.mu.
+func (rt *Runtime) refreshDeviceListLocked() {
+	snap := append([]*deviceState(nil), rt.devs...)
+	rt.devList.Store(&snap)
+}
+
+// deviceList returns the current device-list snapshot without taking
+// the scheduler lock.
+func (rt *Runtime) deviceList() []*deviceState {
+	p := rt.devList.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
 }
 
 // Clock returns the runtime's model clock.
@@ -412,25 +503,24 @@ func (rt *Runtime) MemoryManager() *memmgr.Manager { return rt.mm }
 
 // Metrics returns a snapshot of all counters.
 func (rt *Runtime) Metrics() Metrics {
-	rt.mu.Lock()
-	devs := make([]DeviceUtilization, 0, len(rt.devs))
-	for _, ds := range rt.devs {
+	list := rt.deviceList()
+	devs := make([]DeviceUtilization, 0, len(list))
+	for _, ds := range list {
 		st := ds.dev.Stats()
 		devs = append(devs, DeviceUtilization{
 			Index:        ds.index,
 			Name:         ds.dev.Spec().Name,
-			Healthy:      ds.healthy,
+			Healthy:      ds.healthy.Load(),
 			Busy:         st.Busy,
 			Launches:     st.Launches,
 			H2DBytes:     st.H2DBytes,
 			D2HBytes:     st.D2HBytes,
 			ActiveVGPUs:  ds.activeVGPUs(),
-			VGPUs:        len(ds.vgpus),
+			VGPUs:        len(ds.slots()),
 			MemAvailable: ds.dev.Available(),
 			Capacity:     ds.dev.Capacity(),
 		})
 	}
-	rt.mu.Unlock()
 	return Metrics{
 		Devices:        devs,
 		CallsServed:    rt.calls.Load(),
@@ -501,14 +591,12 @@ func (rt *Runtime) wireStats() api.RuntimeStats {
 // VGPUCount reports the number of live (healthy-device) virtual GPUs —
 // the value the runtime returns for cudaGetDeviceCount (§4.3).
 func (rt *Runtime) VGPUCount() int {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	n := 0
-	for _, ds := range rt.devs {
-		if !ds.healthy {
+	for _, ds := range rt.deviceList() {
+		if !ds.healthy.Load() {
 			continue
 		}
-		n += len(ds.vgpus)
+		n += len(ds.slots())
 	}
 	return n
 }
@@ -650,7 +738,7 @@ func (rt *Runtime) Close() {
 	rt.cond.Broadcast()
 	rt.mu.Unlock()
 	for _, ds := range devs {
-		for _, v := range ds.vgpus {
+		for _, v := range ds.slots() {
 			v.cuctx.Destroy()
 		}
 	}

@@ -113,6 +113,21 @@ func (c *Context) MemcpyHD(dst api.DevPtr, data []byte, size uint64) error {
 	return c.dev.CopyIn(dst, data, size)
 }
 
+// MemcpyHDBatch mirrors a vectored cudaMemcpy(HostToDevice): every
+// destination is validated against this context's allocations, then the
+// transfers land as a single copy-engine submission (gpu.CopyInBatch).
+func (c *Context) MemcpyHDBatch(items []api.HDCopy) error {
+	if err := c.live(); err != nil {
+		return err
+	}
+	for i := range items {
+		if !c.owns(items[i].Dst) {
+			return api.ErrInvalidDevicePointer
+		}
+	}
+	return c.dev.CopyInBatch(items)
+}
+
 // MemcpyDH mirrors cudaMemcpy(DeviceToHost).
 func (c *Context) MemcpyDH(src api.DevPtr, size uint64) ([]byte, error) {
 	if err := c.live(); err != nil {

@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gvrt/internal/core"
+	"gvrt/internal/gpu"
+	"gvrt/internal/sim"
+	"gvrt/internal/workload"
+)
+
+// The determinism-equivalence suite guards the per-device sharding
+// refactor (DESIGN.md §11): for a fixed seed, the experiment machinery
+// must keep producing byte-identical rows before and after any change
+// to the runtime's locking. The golden files under testdata/ were
+// generated from the pre-sharding runtime and are only regenerated
+// deliberately with -update.
+//
+// Timing cells (the "(s)" columns) are wall-clock derived — the model
+// clock divides real elapsed time by the scale — so they can never be
+// byte-stable across runs, on any runtime. The goldens therefore pin
+// every deterministic projection of the Table 2 and Figure 5 rows:
+// program identity, kernel-call counts, footprints, classes, the
+// seeded job draws, per-cell success counts and the exact number of
+// client calls served. A scheduling change that alters which calls are
+// issued, reorders a draw, or fails a job shows up as a golden diff.
+
+var update = flag.Bool("update", false, "rewrite determinism golden files")
+
+// table2Rows renders the deterministic projection of exp.Table2: every
+// column except the wall-derived standalone time.
+func table2Rows(t *testing.T, o Options) string {
+	t.Helper()
+	tab, err := Table2(o)
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	var b strings.Builder
+	for _, row := range tab.Rows {
+		if len(row) != 5 {
+			t.Fatalf("Table2 row has %d columns, want 5: %q", len(row), row)
+		}
+		// row = [program, kernel calls, memory MB, class, standalone s];
+		// drop only the timing column.
+		fmt.Fprintf(&b, "%s\t%s\t%s\t%s\n", row[0], row[1], row[2], row[3])
+	}
+	return b.String()
+}
+
+// fig5Rows renders the deterministic projection of exp.Fig5's
+// configuration matrix: for each batch size, the seeded job draw and,
+// per vGPU configuration, the jobs completed and total client calls
+// served by the runtime.
+func fig5Rows(t *testing.T, o Options) string {
+	t.Helper()
+	specs := []gpu.Spec{gpu.TeslaC2050}
+	var b strings.Builder
+	for _, n := range []int{1, 2, 4, 8} {
+		draw := workload.RandomShortBatch(sim.NewRNG(o.Seed), n)
+		names := make([]string, len(draw))
+		for i, app := range draw {
+			names[i] = app.Name
+		}
+		fmt.Fprintf(&b, "n=%d draw=%s\n", n, strings.Join(names, ","))
+		for _, v := range []int{1, 2, 4, 8} {
+			res, m, err := runGvrtBatch(o, core.Config{VGPUsPerDevice: v}, specs,
+				workload.RandomShortBatch(sim.NewRNG(o.Seed), n))
+			if err != nil {
+				t.Fatalf("fig5 projection n=%d vgpus=%d: %v", n, v, err)
+			}
+			fmt.Fprintf(&b, "n=%d vgpus=%d completed=%d failed=%d calls=%d\n",
+				n, v, len(res.JobTimes)-res.Failed(), res.Failed(), m.CallsServed)
+		}
+	}
+	return b.String()
+}
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (generate with -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("rows diverge from %s (pre-sharding golden).\n--- got ---\n%s--- want ---\n%s",
+			path, got, string(want))
+	}
+}
+
+func goldenOpts() Options {
+	// Match exp_test.go's fastOpts: tiny scale, one run, fixed seed.
+	return Options{Scale: 1e-6, Runs: 1, Seed: 1}
+}
+
+// TestTable2GoldenRows pins Table 2's deterministic row projection to
+// the pre-sharding golden.
+func TestTable2GoldenRows(t *testing.T) {
+	checkGolden(t, "table2_rows.golden", table2Rows(t, goldenOpts()))
+}
+
+// TestFig5GoldenRows pins the Figure 5 matrix's deterministic
+// projection — seeded draws, completions, and calls served per cell —
+// to the pre-sharding golden.
+func TestFig5GoldenRows(t *testing.T) {
+	checkGolden(t, "fig5_rows.golden", fig5Rows(t, goldenOpts()))
+}
+
+// TestDeterminismRunTwice runs the Figure 5 projection twice in one
+// process and requires byte equality: a refactor that makes scheduling
+// outcomes depend on map iteration order or racy state shows up here
+// even without consulting the goldens.
+func TestDeterminismRunTwice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	first := fig5Rows(t, goldenOpts())
+	second := fig5Rows(t, goldenOpts())
+	if first != second {
+		t.Errorf("same-seed runs diverge within one process:\n--- first ---\n%s--- second ---\n%s",
+			first, second)
+	}
+}

@@ -27,6 +27,7 @@ package memmgr
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -132,8 +133,39 @@ type DeviceOps interface {
 	MemcpyDH(src api.DevPtr, size uint64) ([]byte, error)
 }
 
+// BatchDeviceOps is the optional batching extension of DeviceOps: a
+// bound CUDA context that implements it can land several deferred
+// host→device transfers in one copy-engine submission (FlushDeferred
+// batches through it when available).
+type BatchDeviceOps interface {
+	DeviceOps
+	MemcpyHDBatch(items []api.HDCopy) error
+}
+
+// numShards is the stripe count of the manager's page-table state.
+// Contexts hash to shards by ID, so two applications' allocation
+// traffic only contends when they land on the same stripe; 64 stripes
+// keep that probability low for any realistic tenant count.
+const numShards = 64
+
+// shard is one stripe of per-context state. All three maps are keyed
+// by context ID and guarded by the stripe's own mutex; host-swap-area
+// occupancy is global and lives in the Manager as an atomic.
+type shard struct {
+	mu     sync.Mutex
+	tables map[int64][]*PTE
+	next   map[int64]uint64
+	usage  map[int64]uint64
+}
+
 // Manager is the runtime's memory manager. One instance serves all
 // contexts and all devices of a node.
+//
+// State is sharded (DESIGN.md §11): each context's page table, cursor
+// and usage live in one of numShards stripes selected by context ID,
+// so the former global mutex never serialises independent tenants.
+// The only cross-shard quantity — swap-area occupancy versus the host
+// limit — is an atomic with a reserve/release protocol.
 type Manager struct {
 	// DeferTransfers selects the transfer-deferral configuration
 	// (§4.5): when true (the evaluation's setting), host→device data
@@ -142,12 +174,9 @@ type Manager struct {
 	// swap overhead for computation/communication overlap.
 	DeferTransfers bool
 
-	mu        sync.Mutex
 	hostLimit uint64
-	hostUsed  uint64
-	tables    map[int64][]*PTE
-	next      map[int64]uint64
-	usage     map[int64]uint64
+	hostUsed  atomic.Uint64
+	shards    [numShards]shard
 
 	// Fault-plane hooks for the swap area; nil when no plan targets it.
 	// Faults fire before any state is mutated, so an injected failure
@@ -183,13 +212,47 @@ const ctxShift = 40
 // modeled occupancy (0 means unlimited). The paper's node has 48 GB of
 // host memory backing the swap area.
 func New(deferTransfers bool, hostLimit uint64) *Manager {
-	return &Manager{
+	m := &Manager{
 		DeferTransfers: deferTransfers,
 		hostLimit:      hostLimit,
-		tables:         make(map[int64][]*PTE),
-		next:           make(map[int64]uint64),
-		usage:          make(map[int64]uint64),
 	}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.tables = make(map[int64][]*PTE)
+		s.next = make(map[int64]uint64)
+		s.usage = make(map[int64]uint64)
+	}
+	return m
+}
+
+// shardOf selects the stripe owning a context's state.
+func (m *Manager) shardOf(ctxID int64) *shard {
+	return &m.shards[uint64(ctxID)%numShards]
+}
+
+// reserveHost claims n bytes of swap-area occupancy against the host
+// limit, returning false (and claiming nothing) when the limit would
+// be exceeded. The CAS loop makes concurrent reservations from
+// different shards linearise without a global lock.
+func (m *Manager) reserveHost(n uint64) bool {
+	if m.hostLimit == 0 {
+		m.hostUsed.Add(n)
+		return true
+	}
+	for {
+		cur := m.hostUsed.Load()
+		if cur+n > m.hostLimit {
+			return false
+		}
+		if m.hostUsed.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// releaseHost returns n bytes of swap-area occupancy.
+func (m *Manager) releaseHost(n uint64) {
+	m.hostUsed.Add(^uint64(n - 1))
 }
 
 // InstallFaults arms the manager's swap-area injection sites against
@@ -216,9 +279,7 @@ func (m *Manager) SetTracer(t *trace.Tracer) { m.tracer = t }
 
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	used := m.hostUsed
-	m.mu.Unlock()
+	used := m.hostUsed.Load()
 	return Stats{
 		SwapOps:         m.swapOps.Load(),
 		SwapBytes:       m.swapBytes.Load(),
@@ -242,21 +303,20 @@ func (m *Manager) Malloc(ctxID int64, size uint64, kind Kind) (api.DevPtr, error
 			return 0, err
 		}
 	}
-	m.mu.Lock()
-	if m.hostLimit > 0 && m.hostUsed+size > m.hostLimit {
-		m.mu.Unlock()
+	if !m.reserveHost(size) {
 		return 0, api.ErrSwapAllocation
 	}
-	off := m.next[ctxID]
+	s := m.shardOf(ctxID)
+	s.mu.Lock()
+	off := s.next[ctxID]
 	// Align entries to 256 bytes like device allocations.
-	m.next[ctxID] = off + (size+255)&^uint64(255)
-	nextOff := m.next[ctxID]
+	s.next[ctxID] = off + (size+255)&^uint64(255)
+	nextOff := s.next[ctxID]
 	v := api.DevPtr(virtTag | uint64(ctxID)<<ctxShift | off)
 	pte := &PTE{Virtual: v, Size: size, Kind: kind, ctxID: ctxID}
-	m.tables[ctxID] = append(m.tables[ctxID], pte)
-	m.usage[ctxID] += size
-	m.hostUsed += size
-	m.mu.Unlock()
+	s.tables[ctxID] = append(s.tables[ctxID], pte)
+	s.usage[ctxID] += size
+	s.mu.Unlock()
 	if m.obs != nil {
 		m.obs.EntryWritten(ctxID, pte.image(), nextOff)
 	}
@@ -273,10 +333,17 @@ func (m *Manager) Resolve(ptr api.DevPtr) (*PTE, uint64, error) {
 		return nil, 0, api.ErrInvalidDevicePointer
 	}
 	ctxID := int64(uint64(ptr) &^ virtTag >> ctxShift)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, pte := range m.tables[ctxID] {
-		if ptr >= pte.Virtual && ptr < pte.Virtual+api.DevPtr(pte.Size) {
+	s := m.shardOf(ctxID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The table is sorted by Virtual (the allocation cursor only grows
+	// and Free preserves order), so the owning entry is the last one
+	// starting at or below ptr.
+	tbl := s.tables[ctxID]
+	i := sort.Search(len(tbl), func(i int) bool { return tbl[i].Virtual > ptr })
+	if i > 0 {
+		pte := tbl[i-1]
+		if ptr < pte.Virtual+api.DevPtr(pte.Size) {
 			return pte, uint64(ptr - pte.Virtual), nil
 		}
 	}
@@ -286,26 +353,29 @@ func (m *Manager) Resolve(ptr api.DevPtr) (*PTE, uint64, error) {
 
 // EntriesOf returns a snapshot of a context's page table.
 func (m *Manager) EntriesOf(ctxID int64) []*PTE {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return append([]*PTE(nil), m.tables[ctxID]...)
+	s := m.shardOf(ctxID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*PTE(nil), s.tables[ctxID]...)
 }
 
 // UsageOf reports the context's total allocation footprint (the
 // MemUsage map of §4.5).
 func (m *Manager) UsageOf(ctxID int64) uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.usage[ctxID]
+	s := m.shardOf(ctxID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usage[ctxID]
 }
 
 // ResidentBytes reports how much of the context's footprint currently
 // occupies device memory.
 func (m *Manager) ResidentBytes(ctxID int64) uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	s := m.shardOf(ctxID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var sum uint64
-	for _, pte := range m.tables[ctxID] {
+	for _, pte := range s.tables[ctxID] {
 		if pte.IsAllocated {
 			sum += pte.Size
 		}
@@ -454,7 +524,7 @@ func (m *Manager) syncToSwap(pte *PTE, ops DeviceOps) error {
 	if t != nil {
 		elapsed := t.Start() - start
 		t.Observe(t.D2H, int64(elapsed))
-		if elapsed > 0 {
+		if elapsed > 0 && t.Spans() {
 			t.Span("d2h", pte.ctxID, start, -1, fmt.Sprintf("%d bytes", pte.Size))
 		}
 	}
@@ -480,19 +550,22 @@ func (m *Manager) Free(pte *PTE, ops DeviceOps) error {
 	}
 	pte.IsAllocated = false
 	pte.Device = 0
-	m.mu.Lock()
+	s := m.shardOf(pte.ctxID)
+	s.mu.Lock()
 	removed := false
-	tbl := m.tables[pte.ctxID]
+	tbl := s.tables[pte.ctxID]
 	for i, e := range tbl {
 		if e == pte {
-			m.tables[pte.ctxID] = append(tbl[:i], tbl[i+1:]...)
-			m.usage[pte.ctxID] -= pte.Size
-			m.hostUsed -= pte.Size
+			s.tables[pte.ctxID] = append(tbl[:i], tbl[i+1:]...)
+			s.usage[pte.ctxID] -= pte.Size
 			removed = true
 			break
 		}
 	}
-	m.mu.Unlock()
+	s.mu.Unlock()
+	if removed {
+		m.releaseHost(pte.Size)
+	}
 	if !removed {
 		m.badOps.Add(1)
 		return api.ErrInvalidDevicePointer
@@ -620,7 +693,7 @@ func (m *Manager) makeResident(pte *PTE, ops DeviceOps, depth int) error {
 		if t != nil {
 			elapsed := t.Start() - start
 			t.Observe(t.H2D, int64(elapsed))
-			if elapsed > 0 {
+			if elapsed > 0 && t.Spans() {
 				t.Span("h2d", pte.ctxID, start, -1, fmt.Sprintf("%d bytes", pte.Size))
 			}
 		}
@@ -641,6 +714,121 @@ func (m *Manager) makeResident(pte *PTE, ops DeviceOps, depth int) error {
 		}
 	}
 	return nil
+}
+
+// EnsureAllocated performs only the allocation half of MakeResident for
+// one entry (nested members included) without moving any data, so a
+// caller can allocate a launch's whole working set first — retrying
+// per-entry allocation failures with swaps — and then flush the
+// deferred transfers in one batch (FlushDeferred).
+func (m *Manager) EnsureAllocated(pte *PTE, ops DeviceOps) error {
+	return m.ensureAllocated(pte, ops, 0)
+}
+
+func (m *Manager) ensureAllocated(pte *PTE, ops DeviceOps, depth int) error {
+	if depth > 8 {
+		return api.ErrInvalidValue // nested cycle; registration bug
+	}
+	if pte.Nested != nil {
+		for _, member := range pte.Nested.Members {
+			mp, _, err := m.Resolve(member)
+			if err != nil {
+				return err
+			}
+			if err := m.ensureAllocated(mp, ops, depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	if !pte.IsAllocated {
+		dev, err := ops.Malloc(pte.Size)
+		if err != nil {
+			return err
+		}
+		pte.Device = dev
+		pte.IsAllocated = true
+		// Fresh device memory never holds the entry's data.
+		if pte.ToCopy2Swap {
+			pte.ToCopy2Swap = false
+		}
+	}
+	return nil
+}
+
+// FlushDeferred lands the pending host→device transfers of a launch's
+// already-allocated entries. Two or more pending simple (non-nested)
+// entries go to the device as one batched copy-engine submission when
+// ops supports it; nested parents keep the per-entry path, whose member
+// pointer patching must interleave with the transfer. The modeled
+// timing and byte accounting are identical to per-entry flushes
+// (gpu.CopyInBatch documents the equivalence) — batching only cuts the
+// per-transfer engine round trips.
+func (m *Manager) FlushDeferred(ptes []*PTE, ops DeviceOps) error {
+	bops, canBatch := ops.(BatchDeviceOps)
+	var batch []*PTE
+	for i, pte := range ptes {
+		if dupEntry(ptes, i) {
+			continue
+		}
+		if pte.Nested != nil || !canBatch {
+			if err := m.makeResident(pte, ops, 0); err != nil {
+				return err
+			}
+			continue
+		}
+		if pte.ToCopy2Dev {
+			batch = append(batch, pte)
+		}
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	if len(batch) == 1 {
+		return m.makeResident(batch[0], ops, 0)
+	}
+	items := make([]api.HDCopy, len(batch))
+	var total uint64
+	for i, pte := range batch {
+		var img []byte
+		if pte.data != nil {
+			img = pte.swapData()
+		}
+		items[i] = api.HDCopy{Dst: pte.Device, Data: img, Size: pte.Size}
+		total += pte.Size
+	}
+	t := m.tracer
+	start := t.Start()
+	if err := bops.MemcpyHDBatch(items); err != nil {
+		// Entries keep ToCopy2Dev set: the swap copy stays authoritative,
+		// a legal Figure 4 state, and the next launch retries the flush.
+		return err
+	}
+	for _, pte := range batch {
+		if pte.writesSinceResident > 1 {
+			m.coalesced.Add(int64(pte.writesSinceResident - 1))
+		}
+		pte.writesSinceResident = 0
+		pte.ToCopy2Dev = false
+	}
+	if t != nil {
+		elapsed := t.Start() - start
+		t.Observe(t.H2D, int64(elapsed))
+		if elapsed > 0 && t.Spans() {
+			t.Span("h2d", batch[0].ctxID, start, -1, fmt.Sprintf("%d bytes in %d batched transfers", total, len(batch)))
+		}
+	}
+	return nil
+}
+
+// dupEntry reports whether ptes[i] already appeared earlier in the
+// slice (same entry referenced by several pointer arguments).
+func dupEntry(ptes []*PTE, i int) bool {
+	for _, prev := range ptes[:i] {
+		if prev == ptes[i] {
+			return true
+		}
+	}
+	return false
 }
 
 // MarkKernelEffects applies Figure 4's post-launch transition to the
@@ -685,7 +873,7 @@ func (m *Manager) SwapOut(pte *PTE, ops DeviceOps) error {
 		elapsed := t.Start() - start
 		t.Observe(t.SwapDur, int64(elapsed))
 		t.Observe(t.SwapBytes, int64(pte.Size))
-		if elapsed > 0 {
+		if elapsed > 0 && t.Spans() {
 			t.Span("swap-out", pte.ctxID, start, -1, fmt.Sprintf("%d bytes", pte.Size))
 		}
 	}
@@ -769,12 +957,14 @@ func (m *Manager) ReleaseContext(ctxID int64, ops DeviceOps) {
 			_ = ops.Free(pte.Device)
 		}
 	}
-	m.mu.Lock()
-	m.hostUsed -= m.usage[ctxID]
-	delete(m.tables, ctxID)
-	delete(m.usage, ctxID)
-	delete(m.next, ctxID)
-	m.mu.Unlock()
+	s := m.shardOf(ctxID)
+	s.mu.Lock()
+	released := s.usage[ctxID]
+	delete(s.tables, ctxID)
+	delete(s.usage, ctxID)
+	delete(s.next, ctxID)
+	s.mu.Unlock()
+	m.releaseHost(released)
 	if m.obs != nil {
 		m.obs.ContextReleased(ctxID)
 	}

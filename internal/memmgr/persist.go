@@ -2,6 +2,7 @@ package memmgr
 
 import (
 	"fmt"
+	"sort"
 
 	"gvrt/internal/api"
 )
@@ -41,10 +42,11 @@ type ContextImage struct {
 // caller must Checkpoint or SwapOutAll first; ExportContext fails
 // loudly rather than snapshot stale data.
 func (m *Manager) ExportContext(ctxID int64) (*ContextImage, error) {
-	m.mu.Lock()
-	entries := append([]*PTE(nil), m.tables[ctxID]...)
-	next := m.next[ctxID]
-	m.mu.Unlock()
+	s := m.shardOf(ctxID)
+	s.mu.Lock()
+	entries := append([]*PTE(nil), s.tables[ctxID]...)
+	next := s.next[ctxID]
+	s.mu.Unlock()
 
 	img := &ContextImage{CtxID: ctxID, NextOff: next}
 	for _, pte := range entries {
@@ -62,16 +64,19 @@ func (m *Manager) ExportContext(ctxID int64) (*ContextImage, error) {
 // after resume lazily restores residency — exactly the §4.6 restart
 // semantics. It fails if the context ID is already in use.
 func (m *Manager) ImportContext(img *ContextImage) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if len(m.tables[img.CtxID]) > 0 {
+	s := m.shardOf(img.CtxID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.tables[img.CtxID]) > 0 {
 		return fmt.Errorf("memmgr: context %d already present", img.CtxID)
 	}
 	var total uint64
 	for _, e := range img.Entries {
 		total += e.Size
 	}
-	if m.hostLimit > 0 && m.hostUsed+total > m.hostLimit {
+	// Bulk-reserve the whole image against the host limit up front; a
+	// failed reservation imports nothing.
+	if !m.reserveHost(total) {
 		return api.ErrSwapAllocation
 	}
 	var entries []*PTE
@@ -95,20 +100,26 @@ func (m *Manager) ImportContext(img *ContextImage) error {
 		}
 		entries = append(entries, pte)
 	}
-	m.tables[img.CtxID] = entries
-	m.next[img.CtxID] = img.NextOff
-	m.usage[img.CtxID] = total
-	m.hostUsed += total
+	// Resolve binary-searches the table by Virtual; images produced by
+	// ExportContext are already ordered, but sort defensively so a
+	// hand-built image cannot break lookups.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Virtual < entries[j].Virtual })
+	s.tables[img.CtxID] = entries
+	s.next[img.CtxID] = img.NextOff
+	s.usage[img.CtxID] = total
 	return nil
 }
 
 // ContextIDs lists the contexts with live page tables.
 func (m *Manager) ContextIDs() []int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ids := make([]int64, 0, len(m.tables))
-	for id := range m.tables {
-		ids = append(ids, id)
+	var ids []int64
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for id := range s.tables {
+			ids = append(ids, id)
+		}
+		s.mu.Unlock()
 	}
 	return ids
 }

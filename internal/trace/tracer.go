@@ -26,6 +26,13 @@ func (t *Tracer) Start() time.Duration {
 	return t.Now()
 }
 
+// Spans reports whether Span calls will actually record anything.
+// Hot paths consult it before building span detail strings, so the
+// formatting cost is only paid when a recorder is attached.
+func (t *Tracer) Spans() bool {
+	return t != nil && t.Rec != nil && t.Now != nil
+}
+
 // Span records a span from start to now. No-op on a nil tracer or
 // nil recorder.
 func (t *Tracer) Span(phase string, ctx int64, start time.Duration, device int, detail string) {

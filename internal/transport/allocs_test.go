@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"net"
+	"testing"
+
+	"gvrt/internal/api"
+)
+
+// TestCodecAllocsPerCall pins the steady-state allocation cost of one
+// gob call/reply round trip through the pooled envelope codec
+// (tcp.go). The budget is deliberately above today's measured value —
+// the test exists to catch the envelope pooling silently regressing
+// (e.g. a new per-call allocation on the frame path), not to chase
+// single-alloc noise.
+func TestCodecAllocsPerCall(t *testing.T) {
+	cc, sc := net.Pipe()
+	client := NewClientConn(cc)
+	server := NewServerConn(sc)
+	defer client.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := server.Recv(); err != nil {
+				return
+			}
+			if err := server.Reply(api.Reply{Code: api.Success}); err != nil {
+				return
+			}
+		}
+	}()
+
+	call := api.LaunchCall{Kernel: "k", PtrArgs: []api.DevPtr{0x1000}, Scalars: []uint64{7}}
+	// Warm the gob type registry and the envelope pools: the first calls
+	// on a stream exchange type descriptors and are not steady state.
+	for i := 0; i < 10; i++ {
+		if _, err := client.Call(call); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := client.Call(call); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("codec round trip: %.1f allocs/call", avg)
+	const budget = 20
+	if avg > budget {
+		t.Errorf("codec round trip allocates %.1f objects/call, budget %d", avg, budget)
+	}
+	_ = client.Close()
+	<-done
+}

@@ -9,6 +9,16 @@ import (
 	"gvrt/internal/api"
 )
 
+// Envelope structs are pooled across calls and connections: the codec
+// frames every call and reply, so at daemon scale the per-call envelope
+// garbage is pure overhead. Pooled values are Reset before decode (gob
+// merges into non-zero fields) and before Put (so a pooled reply never
+// pins a caller's Data slice).
+var (
+	envPool      = sync.Pool{New: func() any { return new(api.Envelope) }}
+	replyEnvPool = sync.Pool{New: func() any { return new(api.ReplyEnvelope) }}
+)
+
 // tcpConn is the client side of a TCP connection, carrying gob-encoded
 // envelopes. Calls are serialised by a mutex: a connection belongs to a
 // single application thread and carries one call at a time.
@@ -43,20 +53,30 @@ func (t *tcpConn) Call(call api.Call) (api.Reply, error) {
 		return api.Reply{}, ErrClosed
 	}
 	t.seq++
-	if err := t.enc.Encode(&api.Envelope{Seq: t.seq, Call: call}); err != nil {
+	env := envPool.Get().(*api.Envelope)
+	env.Seq, env.Call = t.seq, call
+	err := t.enc.Encode(env)
+	env.Reset()
+	envPool.Put(env)
+	if err != nil {
 		t.dead = true
 		return api.Reply{}, fmt.Errorf("transport: send: %w", err)
 	}
-	var re api.ReplyEnvelope
-	if err := t.dec.Decode(&re); err != nil {
+	re := replyEnvPool.Get().(*api.ReplyEnvelope)
+	re.Reset()
+	if err := t.dec.Decode(re); err != nil {
+		replyEnvPool.Put(re)
 		t.dead = true
 		return api.Reply{}, fmt.Errorf("transport: recv: %w", err)
 	}
-	if re.Seq != t.seq {
+	seq, reply := re.Seq, re.Reply
+	re.Reset()
+	replyEnvPool.Put(re)
+	if seq != t.seq {
 		t.dead = true
-		return api.Reply{}, fmt.Errorf("transport: reply sequence %d for call %d", re.Seq, t.seq)
+		return api.Reply{}, fmt.Errorf("transport: reply sequence %d for call %d", seq, t.seq)
 	}
-	return re.Reply, nil
+	return reply, nil
 }
 
 func (t *tcpConn) Close() error {
@@ -81,16 +101,26 @@ func NewServerConn(c net.Conn) ServerConn {
 }
 
 func (t *tcpServerConn) Recv() (api.Call, error) {
-	var env api.Envelope
-	if err := t.dec.Decode(&env); err != nil {
+	env := envPool.Get().(*api.Envelope)
+	env.Reset()
+	if err := t.dec.Decode(env); err != nil {
+		envPool.Put(env)
 		return nil, ErrClosed
 	}
 	t.lastSeq = env.Seq
-	return env.Call, nil
+	call := env.Call
+	env.Reset()
+	envPool.Put(env)
+	return call, nil
 }
 
 func (t *tcpServerConn) Reply(r api.Reply) error {
-	if err := t.enc.Encode(&api.ReplyEnvelope{Seq: t.lastSeq, Reply: r}); err != nil {
+	re := replyEnvPool.Get().(*api.ReplyEnvelope)
+	re.Seq, re.Reply = t.lastSeq, r
+	err := t.enc.Encode(re)
+	re.Reset()
+	replyEnvPool.Put(re)
+	if err != nil {
 		return ErrClosed
 	}
 	return nil
