@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -68,8 +69,11 @@ func main() {
 		baseline = flag.String("baseline", "", "compare p99 launch latency against this report")
 		maxRatio = flag.Float64("max-p99-ratio", 2.0, "regression gate for -baseline")
 		validate = flag.String("validate", "", "validate this report file and exit")
+		hist     = flag.Bool("hist", false, "dump swap-path histogram quantiles to stderr")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the scenario runs to this file")
 	)
 	flag.Parse()
+	dumpHist = *hist
 
 	if *validate != "" {
 		if _, err := benchfmt.ReadFile(*validate); err != nil {
@@ -102,6 +106,18 @@ func main() {
 		for _, n := range strings.Split(*only, ",") {
 			want[strings.TrimSpace(n)] = true
 		}
+	}
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	rep := &benchfmt.Report{Schema: benchfmt.Schema, PR: *pr, Label: *label, Quick: *quick}
@@ -320,27 +336,75 @@ func runMultiNode(sz sizes, _ int64) (benchfmt.Scenario, error) {
 	hm, pm := head.rt.Metrics(), peer.rt.Metrics()
 	s := scenarioFrom("multi-node", sz.nodeSess, head, wall, benchScale)
 	s.Calls = hm.CallsServed + pm.CallsServed
-	s.CallsPerSec = float64(s.Calls) / wall.Seconds()
+	s.CallsPerSec = float64(s.Calls) / rateSeconds(wall)
 	s.Offloaded = hm.Offloaded
 	s.SwapOps = hm.Memory.SwapOps + pm.Memory.SwapOps
-	s.SwapBytesPerSec = float64(hm.Memory.SwapBytes+pm.Memory.SwapBytes) / wall.Seconds()
+	s.SwapBytesPerSec = float64(hm.Memory.SwapBytes+pm.Memory.SwapBytes) / rateSeconds(wall)
 	return s, nil
 }
 
+// swapSession is the swap-pressure client body: two working sets that
+// each nearly fill the device, launched alternately. Every launch of
+// one set forces the runtime to evict (intra-application swap) the
+// whole other set, so swap traffic is deterministic — it does not
+// depend on catching a co-tenant in a CPU phase.
+func swapSession(c *frontend.Client, iters, setBufs int, bufBytes uint64) error {
+	defer c.Close()
+	if err := c.RegisterFatBinary(benchBinary()); err != nil {
+		return err
+	}
+	var sets [2][]api.DevPtr
+	for s := range sets {
+		for j := 0; j < setBufs; j++ {
+			p, err := c.Malloc(bufBytes)
+			if err != nil {
+				return err
+			}
+			sets[s] = append(sets[s], p)
+		}
+	}
+	for i := 0; i < iters; i++ {
+		for s := range sets {
+			launch := api.LaunchCall{
+				Kernel:  "spin",
+				Grid:    api.Dim3{X: 32},
+				Block:   api.Dim3{X: 128},
+				PtrArgs: sets[s],
+			}
+			if err := c.Launch(launch); err != nil {
+				return err
+			}
+		}
+	}
+	for s := range sets {
+		for _, p := range sets[s] {
+			if err := c.Free(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // runSwapPressure oversubscribes one device's memory so every launch
-// round forces inter-application swaps: the swap bytes/sec series of
-// the trajectory.
+// forces intra-application swaps: the swap bytes/sec series of the
+// trajectory. One vGPU per device keeps sessions serialized on the
+// bind queue, so the swap count per run is a deterministic function of
+// the sizes, not of tenant interleaving.
 func runSwapPressure(sz sizes, _ int64) (benchfmt.Scenario, error) {
-	n, err := newNode(benchScale, core.Config{
-		VGPUsPerDevice: 2,
-		MinVictimIdle:  -1,
-	}, gpu.TeslaC2050)
+	n, err := newNode(benchScale, core.Config{VGPUsPerDevice: 1}, gpu.TeslaC2050)
 	if err != nil {
 		return benchfmt.Scenario{}, err
 	}
 	defer n.rt.Close()
 
-	const buf = 1200 << 20 // 2 resident sessions exceed the C2050's 3 GB
+	// 23 x 128 MiB = 2944 MiB per set: one set fits the C2050's 3 GiB
+	// minus the context reservation, two sets do not — so alternating
+	// launches displace each other's whole working set every round.
+	const (
+		setBufs = 23
+		buf     = 128 << 20
+	)
 	errs := make([]error, sz.swapSess)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -348,7 +412,7 @@ func runSwapPressure(sz sizes, _ int64) (benchfmt.Scenario, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = session(n.client(), sz.swapIter, buf)
+			errs[i] = swapSession(n.client(), sz.swapIter, setBufs, buf)
 		}(i)
 	}
 	wg.Wait()
@@ -395,8 +459,55 @@ func firstErr(res workload.BatchResult) error {
 	return nil
 }
 
+// dumpHist mirrors the -hist flag: after each scenario, print the
+// swap-path histogram quantiles (model-time ns converted to wall us at
+// the scenario's clock scale) so before/after comparisons of the swap
+// machinery itself — not just headline throughput — are one flag away.
+var dumpHist bool
+
+// histDump prints p50/p99 for the swap-path histograms of a scenario.
+func histDump(name string, t *trace.Timings, scale float64) {
+	if !dumpHist {
+		return
+	}
+	for _, h := range []struct {
+		key  string
+		hist *trace.Histogram
+	}{
+		{"swap_dur", &t.SwapDur},
+		{"d2h", &t.D2H},
+		{"h2d", &t.H2D},
+		{"prefetch", &t.Prefetch},
+	} {
+		snap := h.hist.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		p50, p99 := quantilesUS(snap, scale)
+		fmt.Fprintf(os.Stderr, "gvrt-bench: %s: hist %s: n=%d p50=%.2fus p99=%.2fus\n",
+			name, h.key, snap.Count, p50, p99)
+	}
+	if snap := t.DedupSaved.Snapshot(); snap.Count > 0 {
+		fmt.Fprintf(os.Stderr, "gvrt-bench: %s: hist dedup_saved: n=%d p50=%dB p99=%dB\n",
+			name, snap.Count, snap.Quantile(0.50), snap.Quantile(0.99))
+	}
+}
+
+// rateSeconds clamps a measured wall duration for per-second rate
+// derivation: sub-millisecond walls (quick runs on fast machines) turn
+// honest byte counts into absurd rates, so rates are floored at a 1 ms
+// window. The raw wall still lands in WallSeconds unclamped.
+func rateSeconds(wall time.Duration) float64 {
+	if wall < time.Millisecond {
+		wall = time.Millisecond
+	}
+	return wall.Seconds()
+}
+
 // scenarioFrom assembles the common measurement fields from a node's
-// runtime counters, device stats and timing histograms.
+// runtime counters, device stats and timing histograms. SwapBytes
+// counts real swap-out spills only — checkpoint flushes are accounted
+// separately by the runtime (CheckpointBytes) and excluded here.
 func scenarioFrom(name string, sessions int, n *node, wall time.Duration, scale float64) benchfmt.Scenario {
 	m := n.rt.Metrics()
 	s := benchfmt.Scenario{
@@ -404,15 +515,18 @@ func scenarioFrom(name string, sessions int, n *node, wall time.Duration, scale 
 		Sessions:    sessions,
 		Calls:       m.CallsServed,
 		WallSeconds: wall.Seconds(),
-		CallsPerSec: float64(m.CallsServed) / wall.Seconds(),
+		CallsPerSec: float64(m.CallsServed) / rateSeconds(wall),
 		SwapOps:     m.Memory.SwapOps,
 	}
-	s.SwapBytesPerSec = float64(m.Memory.SwapBytes) / wall.Seconds()
+	s.SwapBytesPerSec = float64(m.Memory.SwapBytes) / rateSeconds(wall)
+	s.PrefetchHits = m.PrefetchHits
+	s.DedupSavedBytes = m.Memory.DedupSavedBytes
 	for _, d := range n.crt.Devices() {
 		st := d.Stats()
 		s.H2DOps += st.H2DOps
 		s.H2DBytes += st.H2DBytes
 	}
 	fill(&s, n.rt.Timings(), scale)
+	histDump(name, n.rt.Timings(), scale)
 	return s
 }

@@ -270,6 +270,12 @@ type HDCopy struct {
 	Size uint64
 }
 
+// DHCopy describes one transfer of a device→host batch.
+type DHCopy struct {
+	Src  DevPtr
+	Size uint64
+}
+
 // Envelope frames a call with a sequence number on the wire.
 type Envelope struct {
 	Seq  uint64

@@ -39,6 +39,23 @@ type RuntimeStats struct {
 	IntraAppSwaps  int64         `json:"intra_app_swaps"`
 	SwapOps        int64         `json:"swap_ops"`
 	SwapBytes      int64         `json:"swap_bytes"`
+	// CheckpointBytes counts device→swap bytes moved by checkpoint
+	// flushes; SwapBytes above counts only real swap-out spills.
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	// PrefetchIssued / PrefetchHits / PrefetchSkipped describe the
+	// predictive prefetcher: speculative swap-ins completed, launches
+	// that found their working set already resident because of one,
+	// and predictions dropped (context busy, no memory, queue full).
+	PrefetchIssued  int64 `json:"prefetch_issued"`
+	PrefetchHits    int64 `json:"prefetch_hits"`
+	PrefetchSkipped int64 `json:"prefetch_skipped"`
+	// DedupHits / DedupSavedBytes / CowBreaks describe swap-area
+	// content deduplication: chunks found already interned, bytes of
+	// host occupancy currently avoided, and sealed images privatised
+	// by a mutating access.
+	DedupHits       int64 `json:"dedup_hits"`
+	DedupSavedBytes int64 `json:"dedup_saved_bytes"`
+	CowBreaks       int64 `json:"cow_breaks"`
 	Migrations     int64         `json:"migrations"`
 	Recoveries     int64         `json:"recoveries"`
 	Replays        int64         `json:"replays"`

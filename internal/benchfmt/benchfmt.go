@@ -72,6 +72,13 @@ type Scenario struct {
 	// Offloaded counts sessions redirected to a peer node (multi-node
 	// scenario only).
 	Offloaded int64 `json:"offloaded,omitempty"`
+	// PrefetchHits counts launches whose working set a speculative
+	// swap-in had already restored (omitted when the scenario produced
+	// none).
+	PrefetchHits int64 `json:"prefetch_hits,omitempty"`
+	// DedupSavedBytes is the swap-area host occupancy avoided by
+	// content deduplication at the end of the run (omitted when zero).
+	DedupSavedBytes int64 `json:"dedup_saved_bytes,omitempty"`
 }
 
 // Encode renders the report as the canonical trajectory bytes:

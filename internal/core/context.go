@@ -67,6 +67,11 @@ type Context struct {
 	scratchPTEs []*memmgr.PTE
 	scratchOffs []uint64
 	scratchArgs []api.DevPtr
+	// Predictive-prefetch state (prefetch.go, under mu): for each
+	// observed launch, the working set of the launch that followed it.
+	predictor     map[launchKey][]api.DevPtr
+	lastLaunch    launchKey
+	hasLastLaunch bool
 
 	gpuTimeNS    atomic.Int64
 	nextKernelNS atomic.Int64

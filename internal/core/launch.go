@@ -63,6 +63,10 @@ func (rt *Runtime) launch(ctx *Context, call api.LaunchCall) error {
 		return err
 	}
 
+	// Credit the prefetcher for any entry a speculative swap-in left
+	// fully resident, before the residency work below consumes the win.
+	rt.consumePrefetchMarks(ptes)
+
 	for attempt := 0; ; attempt++ {
 		if rt.cfg.MaxBindAttempts > 0 && attempt >= rt.cfg.MaxBindAttempts {
 			return api.ErrMemoryAllocation
@@ -140,6 +144,10 @@ func (rt *Runtime) launch(ctx *Context, call api.LaunchCall) error {
 				return err
 			}
 		}
+		// Teach the predictor this transition and, if it already knows
+		// what follows, start restoring that working set in the
+		// background while the application runs its CPU phase.
+		rt.notePrediction(ctx, call)
 		return nil
 	}
 }
@@ -260,7 +268,7 @@ func (rt *Runtime) ensureResident(ctx *Context, v *vGPU, ptes []*memmgr.PTE) err
 			return api.ErrMemoryAllocation
 		}
 		needed := missing - v.ds.dev.Available()
-		if !rt.cfg.DisableIntraSwap && rt.intraSwap(ctx, v, ptes) {
+		if !rt.cfg.DisableIntraSwap && rt.intraSwap(ctx, v, ptes, needed) {
 			continue
 		}
 		if !rt.cfg.DisableInterSwap && rt.interSwap(ctx, v, needed) {
@@ -283,8 +291,11 @@ func (rt *Runtime) ensureResident(ctx *Context, v *vGPU, ptes []*memmgr.PTE) err
 			// Fragmentation (or a concurrent allocation) bit after the
 			// accounting said we fit. First try intra-application
 			// swap: spill an entry of our own that this launch does
-			// not reference (§4.5).
-			if !rt.cfg.DisableIntraSwap && rt.intraSwap(ctx, v, ptes) {
+			// not reference (§4.5). Evict one entry at a time here —
+			// the accounting already said we fit, so a small hole is
+			// usually enough and over-evicting would churn the swap
+			// area.
+			if !rt.cfg.DisableIntraSwap && rt.intraSwap(ctx, v, ptes, 1) {
 				continue
 			}
 			// Then inter-application swap: ask a co-located context in
@@ -306,10 +317,14 @@ func (rt *Runtime) ensureResident(ctx *Context, v *vGPU, ptes []*memmgr.PTE) err
 	return nil
 }
 
-// intraSwap spills one of the context's own resident entries that the
-// pending launch does not reference. Returns true if an entry was
-// swapped.
-func (rt *Runtime) intraSwap(ctx *Context, v *vGPU, exclude []*memmgr.PTE) bool {
+// intraSwap spills the context's own resident entries that the pending
+// launch does not reference, until at least needed bytes have been
+// selected (or no victims remain). Victims are chosen in page-table
+// order — the same one-at-a-time order the accounting loop used to
+// produce — but are swapped out as a single batched submission, so
+// displacing a whole working set costs one d2h engine round trip
+// instead of one per entry. Returns true if any entry was swapped.
+func (rt *Runtime) intraSwap(ctx *Context, v *vGPU, exclude []*memmgr.PTE, needed uint64) bool {
 	excluded := make(map[api.DevPtr]bool, len(exclude))
 	for _, pte := range exclude {
 		excluded[pte.Virtual] = true
@@ -321,19 +336,30 @@ func (rt *Runtime) intraSwap(ctx *Context, v *vGPU, exclude []*memmgr.PTE) bool 
 			}
 		}
 	}
+	var victims []*memmgr.PTE
+	var freed uint64
 	for _, pte := range rt.mm.EntriesOf(ctx.id) {
 		if !pte.IsAllocated || excluded[pte.Virtual] {
 			continue
 		}
-		if err := rt.mm.SwapOut(pte, v.cuctx); err != nil {
-			return false
+		victims = append(victims, pte)
+		freed += pte.Size
+		if freed >= needed {
+			break
 		}
-		rt.intraSwaps.Add(1)
-		rt.logf("ctx %d intra-app swapped entry %#x (%d bytes)", ctx.id, uint64(pte.Virtual), pte.Size)
-		rt.event(trace.KindIntraSwap, ctx.id, 0, v.ds.index, "")
-		return true
 	}
-	return false
+	if len(victims) == 0 {
+		return false
+	}
+	n, err := rt.mm.SwapOutEntries(victims, v.cuctx)
+	rt.intraSwaps.Add(int64(n))
+	if rt.cfg.Logf != nil || rt.cfg.Trace != nil {
+		for _, pte := range victims[:n] {
+			rt.logf("ctx %d intra-app swapped entry %#x (%d bytes)", ctx.id, uint64(pte.Virtual), pte.Size)
+			rt.event(trace.KindIntraSwap, ctx.id, 0, v.ds.index, "")
+		}
+	}
+	return err == nil && n > 0
 }
 
 // interSwap asks a context sharing the device to vacate it. The victim

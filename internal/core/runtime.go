@@ -69,6 +69,9 @@ type Config struct {
 	DisableIntraSwap bool
 	// DisableInterSwap turns off inter-application swapping (ablation).
 	DisableInterSwap bool
+	// DisablePrefetch turns off the predictive prefetcher (prefetch.go):
+	// no speculative swap-ins happen between kernel calls (ablation).
+	DisablePrefetch bool
 	// EnableMigration turns on load balancing through dynamic binding
 	// (§5.3.4): when a faster GPU's vGPU frees with nobody waiting, a
 	// job bound to a slower GPU is migrated to it.
@@ -307,8 +310,13 @@ type Metrics struct {
 	Readmissions   int64
 	RetriesSpent   int64
 	Sheds          int64
-	Memory         memmgr.Stats
-	Devices        []DeviceUtilization
+	// PrefetchIssued / PrefetchHits / PrefetchSkipped describe the
+	// predictive prefetcher (prefetch.go).
+	PrefetchIssued  int64
+	PrefetchHits    int64
+	PrefetchSkipped int64
+	Memory          memmgr.Stats
+	Devices         []DeviceUtilization
 }
 
 // Runtime is the gvrt node-level runtime daemon.
@@ -359,6 +367,11 @@ type Runtime struct {
 	// live (Observe is lock-free and cheap), independent of cfg.Trace.
 	timings trace.Timings
 
+	// prefetchCh feeds the background prefetch worker; quit stops it
+	// (and any other runtime-owned background goroutine) at Close.
+	prefetchCh chan prefetchReq
+	quit       chan struct{}
+
 	calls          atomic.Int64
 	binds          atomic.Int64
 	interSwaps     atomic.Int64
@@ -374,6 +387,10 @@ type Runtime struct {
 	readmissions   atomic.Int64
 	retriesSpent   atomic.Int64
 	sheds          atomic.Int64
+
+	prefetchIssued  atomic.Int64
+	prefetchHits    atomic.Int64
+	prefetchSkipped atomic.Int64
 }
 
 // New builds a runtime over a CUDA runtime instance, creating the
@@ -384,24 +401,28 @@ type Runtime struct {
 // supports.
 func New(crt *cudart.Runtime, cfg Config) (*Runtime, error) {
 	rt := &Runtime{
-		cfg:    cfg,
-		clock:  crt.Clock(),
-		crt:    crt,
-		mm:     memmgr.New(!cfg.WriteThrough, cfg.HostMemory),
-		policy: cfg.Policy,
-		ctxs:   make(map[int64]*Context),
+		cfg:        cfg,
+		clock:      crt.Clock(),
+		crt:        crt,
+		mm:         memmgr.New(!cfg.WriteThrough, cfg.HostMemory),
+		policy:     cfg.Policy,
+		ctxs:       make(map[int64]*Context),
+		prefetchCh: make(chan prefetchReq, 64),
+		quit:       make(chan struct{}),
 	}
 	if rt.policy == nil {
 		rt.policy = sched.FCFS{}
 	}
 	rt.mm.InstallFaults(cfg.Faults)
 	rt.mm.SetTracer(&trace.Tracer{
-		Rec:       cfg.Trace,
-		Now:       rt.clock.Now,
-		SwapDur:   &rt.timings.SwapDur,
-		SwapBytes: &rt.timings.SwapBytes,
-		H2D:       &rt.timings.H2D,
-		D2H:       &rt.timings.D2H,
+		Rec:        cfg.Trace,
+		Now:        rt.clock.Now,
+		SwapDur:    &rt.timings.SwapDur,
+		SwapBytes:  &rt.timings.SwapBytes,
+		H2D:        &rt.timings.H2D,
+		D2H:        &rt.timings.D2H,
+		DedupSaved: &rt.timings.DedupSaved,
+		Prefetch:   &rt.timings.Prefetch,
 	})
 	rt.dispatchHook = cfg.Faults.Hook(faultinject.PointDispatch, "")
 	rt.cond = sync.NewCond(&rt.mu)
@@ -413,6 +434,9 @@ func New(crt *cudart.Runtime, cfg Config) (*Runtime, error) {
 	}
 	if cfg.EnableMigration {
 		go rt.migrationMonitor()
+	}
+	if !cfg.DisablePrefetch {
+		go rt.prefetchWorker()
 	}
 	return rt, nil
 }
@@ -535,9 +559,12 @@ func (rt *Runtime) Metrics() Metrics {
 		UnbindRetries:  rt.unbindRetries.Load(),
 		BreakerTrips:   rt.breakerTrips.Load(),
 		Readmissions:   rt.readmissions.Load(),
-		RetriesSpent:   rt.retriesSpent.Load(),
-		Sheds:          rt.sheds.Load(),
-		Memory:         rt.mm.Stats(),
+		RetriesSpent:    rt.retriesSpent.Load(),
+		Sheds:           rt.sheds.Load(),
+		PrefetchIssued:  rt.prefetchIssued.Load(),
+		PrefetchHits:    rt.prefetchHits.Load(),
+		PrefetchSkipped: rt.prefetchSkipped.Load(),
+		Memory:          rt.mm.Stats(),
 	}
 }
 
@@ -550,12 +577,19 @@ func (rt *Runtime) wireStats() api.RuntimeStats {
 	live := len(rt.ctxs)
 	rt.mu.Unlock()
 	out := api.RuntimeStats{
-		CallsServed:    m.CallsServed,
-		Binds:          m.Binds,
-		InterAppSwaps:  m.InterAppSwaps,
-		IntraAppSwaps:  m.IntraAppSwaps,
-		SwapOps:        m.Memory.SwapOps,
-		SwapBytes:      m.Memory.SwapBytes,
+		CallsServed:     m.CallsServed,
+		Binds:           m.Binds,
+		InterAppSwaps:   m.InterAppSwaps,
+		IntraAppSwaps:   m.IntraAppSwaps,
+		SwapOps:         m.Memory.SwapOps,
+		SwapBytes:       m.Memory.SwapBytes,
+		CheckpointBytes: m.Memory.CheckpointBytes,
+		PrefetchIssued:  m.PrefetchIssued,
+		PrefetchHits:    m.PrefetchHits,
+		PrefetchSkipped: m.PrefetchSkipped,
+		DedupHits:       m.Memory.DedupHits,
+		DedupSavedBytes: m.Memory.DedupSavedBytes,
+		CowBreaks:       m.Memory.CowBreaks,
 		Migrations:     m.Migrations,
 		Recoveries:     m.Recoveries,
 		Replays:        m.Replays,
@@ -734,6 +768,7 @@ func (rt *Runtime) Close() {
 		return
 	}
 	rt.closed = true
+	close(rt.quit)
 	devs := rt.devs
 	rt.cond.Broadcast()
 	rt.mu.Unlock()

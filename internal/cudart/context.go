@@ -2,6 +2,7 @@ package cudart
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"gvrt/internal/api"
@@ -21,10 +22,31 @@ type Context struct {
 	dev      *gpu.Device
 	reserved api.DevPtr
 
-	mu        sync.Mutex
-	allocs    map[api.DevPtr]uint64
+	mu sync.Mutex
+	// allocs is kept sorted by base pointer: ownership checks run per
+	// pointer on every memcpy — and per item on batched submissions —
+	// so membership must be a binary search, not a map scan.
+	allocs    []allocSpan
 	binaries  map[string]api.FatBinary
 	destroyed bool
+}
+
+// allocSpan is one device allocation of the context.
+type allocSpan struct {
+	base api.DevPtr
+	size uint64
+}
+
+// allocIndex returns the position of the span containing ptr, or -1.
+// Caller holds c.mu.
+func (c *Context) allocIndex(ptr api.DevPtr) int {
+	i := sort.Search(len(c.allocs), func(i int) bool { return c.allocs[i].base > ptr })
+	if i > 0 {
+		if sp := c.allocs[i-1]; ptr < sp.base+api.DevPtr(sp.size) {
+			return i - 1
+		}
+	}
+	return -1
 }
 
 // Device returns the device the context lives on.
@@ -65,7 +87,10 @@ func (c *Context) Malloc(size uint64) (api.DevPtr, error) {
 		return 0, err
 	}
 	c.mu.Lock()
-	c.allocs[p] = size
+	i := sort.Search(len(c.allocs), func(i int) bool { return c.allocs[i].base > p })
+	c.allocs = append(c.allocs, allocSpan{})
+	copy(c.allocs[i+1:], c.allocs[i:])
+	c.allocs[i] = allocSpan{base: p, size: size}
 	c.mu.Unlock()
 	return p, nil
 }
@@ -77,9 +102,10 @@ func (c *Context) Free(p api.DevPtr) error {
 		return err
 	}
 	c.mu.Lock()
-	_, mine := c.allocs[p]
+	i := c.allocIndex(p)
+	mine := i >= 0 && c.allocs[i].base == p
 	if mine {
-		delete(c.allocs, p)
+		c.allocs = append(c.allocs[:i], c.allocs[i+1:]...)
 	}
 	c.mu.Unlock()
 	if !mine {
@@ -93,12 +119,7 @@ func (c *Context) Free(p api.DevPtr) error {
 func (c *Context) owns(ptr api.DevPtr) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for base, size := range c.allocs {
-		if ptr >= base && ptr < base+api.DevPtr(size) {
-			return true
-		}
-	}
-	return false
+	return c.allocIndex(ptr) >= 0
 }
 
 // MemcpyHD mirrors cudaMemcpy(HostToDevice). data carries real bytes or,
@@ -137,6 +158,21 @@ func (c *Context) MemcpyDH(src api.DevPtr, size uint64) ([]byte, error) {
 		return nil, api.ErrInvalidDevicePointer
 	}
 	return c.dev.CopyOut(src, size)
+}
+
+// MemcpyDHBatch lands several device→host transfers as one copy-engine
+// submission (see Device.CopyOutBatch). The returned slice is parallel
+// to items; entries are nil for synthetic allocations.
+func (c *Context) MemcpyDHBatch(items []api.DHCopy) ([][]byte, error) {
+	if err := c.live(); err != nil {
+		return nil, err
+	}
+	for i := range items {
+		if !c.owns(items[i].Src) {
+			return nil, api.ErrInvalidDevicePointer
+		}
+	}
+	return c.dev.CopyOutBatch(items)
 }
 
 // Memset mirrors cudaMemset within the context: the fill is applied to
@@ -250,8 +286,8 @@ func (c *Context) MemoryInUse() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var sum uint64
-	for _, n := range c.allocs {
-		sum += n
+	for _, sp := range c.allocs {
+		sum += sp.size
 	}
 	return sum
 }
@@ -267,10 +303,10 @@ func (c *Context) Destroy() {
 	}
 	c.destroyed = true
 	ptrs := make([]api.DevPtr, 0, len(c.allocs)+1)
-	for p := range c.allocs {
-		ptrs = append(ptrs, p)
+	for _, sp := range c.allocs {
+		ptrs = append(ptrs, sp.base)
 	}
-	c.allocs = make(map[api.DevPtr]uint64)
+	c.allocs = nil
 	c.mu.Unlock()
 
 	// Best-effort cleanup: on a failed device the memory is gone anyway.

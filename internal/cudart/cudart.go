@@ -200,7 +200,6 @@ func (rt *Runtime) CreateContext(dev int) (*Context, error) {
 		devIndex: dev,
 		dev:      d,
 		reserved: res,
-		allocs:   make(map[api.DevPtr]uint64),
 		binaries: make(map[string]api.FatBinary),
 	}, nil
 }

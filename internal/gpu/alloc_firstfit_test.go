@@ -1,0 +1,81 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ffAllocator is the original first-fit free-list allocator, kept as a
+// test-only reference so property tests can compare the buddy/slab
+// allocator's fragmentation behaviour against the allocator it
+// replaced (DESIGN.md §12).
+type ffAllocator struct {
+	base, size uint64
+	free       []span
+	used       map[uint64]uint64
+	inUse      uint64
+}
+
+func newFFAllocator(base, size uint64) *ffAllocator {
+	return &ffAllocator{
+		base: base,
+		size: size,
+		free: []span{{addr: base, len: size}},
+		used: make(map[uint64]uint64),
+	}
+}
+
+func (a *ffAllocator) alloc(n uint64) (addr uint64, ok bool) {
+	if n == 0 {
+		n = allocGranularity
+	}
+	n = roundUp(n)
+	for i := range a.free {
+		if a.free[i].len >= n {
+			addr = a.free[i].addr
+			a.free[i].addr += n
+			a.free[i].len -= n
+			if a.free[i].len == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			a.used[addr] = n
+			a.inUse += n
+			return addr, true
+		}
+	}
+	return 0, false
+}
+
+func (a *ffAllocator) freeBlock(addr uint64) error {
+	n, ok := a.used[addr]
+	if !ok {
+		return fmt.Errorf("gpu: free of unallocated address %#x", addr)
+	}
+	delete(a.used, addr)
+	a.inUse -= n
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].addr > addr })
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = span{addr: addr, len: n}
+	if i+1 < len(a.free) && a.free[i].addr+a.free[i].len == a.free[i+1].addr {
+		a.free[i].len += a.free[i+1].len
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].addr+a.free[i-1].len == a.free[i].addr {
+		a.free[i-1].len += a.free[i].len
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+	return nil
+}
+
+func (a *ffAllocator) available() uint64 { return a.size - a.inUse }
+
+func (a *ffAllocator) largestFree() uint64 {
+	var max uint64
+	for _, s := range a.free {
+		if s.len > max {
+			max = s.len
+		}
+	}
+	return max
+}

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"math/bits"
 	"testing"
 	"testing/quick"
 )
@@ -27,8 +28,8 @@ func TestAllocatorBasic(t *testing.T) {
 	if a.available() != 1<<20 {
 		t.Errorf("available after frees = %d, want %d", a.available(), 1<<20)
 	}
-	if len(a.free) != 1 {
-		t.Errorf("free list not coalesced: %v", a.free)
+	if spans := a.freeSpans(); len(spans) != 1 || spans[0].len != 1<<20 {
+		t.Errorf("free space not coalesced: %v", spans)
 	}
 }
 
@@ -71,7 +72,8 @@ func TestAllocatorExhaustion(t *testing.T) {
 
 func TestAllocatorFragmentation(t *testing.T) {
 	// Allocate 4 blocks, free alternating ones: total free is 2 blocks
-	// but the largest single allocation is 1 block.
+	// but the largest single allocation is 1 block. The arena is too
+	// small for a slab chunk, so each granule is a direct buddy carve.
 	a := newAllocator(0, 4*allocGranularity)
 	var ptrs []uint64
 	for i := 0; i < 4; i++ {
@@ -129,10 +131,105 @@ func TestAllocatorResolve(t *testing.T) {
 	}
 }
 
+// TestAllocatorSpanFallback pins the satisfiability guarantee the span
+// fallback exists for: after small carves fragment the buddy
+// decomposition, a request larger than any single power-of-two block
+// must still succeed by carving across adjacent free blocks — the
+// near-capacity tenant-buffer case the runtime's swap tests rely on.
+func TestAllocatorSpanFallback(t *testing.T) {
+	a := newAllocator(0, 1<<20)
+	// Two context reservations, as the runtime carves per vGPU.
+	r1, ok := a.alloc(1024)
+	if !ok {
+		t.Fatal("reservation alloc failed")
+	}
+	if _, ok := a.alloc(1024); !ok {
+		t.Fatal("reservation alloc failed")
+	}
+	// 600 KiB exceeds every remaining single buddy block (the largest
+	// is 512 KiB) but fits in the coalesced span.
+	p, ok := a.alloc(600 << 10)
+	if !ok {
+		t.Fatalf("span-fallback alloc failed: largestFree=%d available=%d",
+			a.largestFree(), a.available())
+	}
+	if _, ok := a.alloc(600 << 10); ok {
+		t.Error("second 600 KiB alloc should not fit")
+	}
+	if err := a.freeBlock(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.alloc(600 << 10); !ok {
+		t.Error("600 KiB alloc should fit again after free")
+	}
+	_ = r1
+}
+
+// TestAllocatorFragmentationVsFirstFit runs the same interleaved
+// small/large trace through the buddy/slab allocator and the original
+// first-fit allocator. First-fit peppers the arena with small-object
+// islands, so freeing the large blocks leaves only block-sized holes;
+// the slab tier clusters the small objects in one chunk, so the same
+// frees coalesce back into one huge span.
+func TestAllocatorFragmentationVsFirstFit(t *testing.T) {
+	const (
+		smalls = 32
+		large  = uint64(64 << 10)
+		arena  = (smalls + 1) * (64 << 10) // hybrid worst case: 1 chunk + 32 larges
+	)
+	bd := newAllocator(0, arena)
+	ff := newFFAllocator(0, arena)
+	var bdLarge, ffLarge []uint64
+	for i := 0; i < smalls; i++ {
+		if _, ok := bd.alloc(allocGranularity); !ok {
+			t.Fatalf("buddy small alloc %d failed", i)
+		}
+		p, ok := bd.alloc(large)
+		if !ok {
+			t.Fatalf("buddy large alloc %d failed", i)
+		}
+		bdLarge = append(bdLarge, p)
+		if _, ok := ff.alloc(allocGranularity); !ok {
+			t.Fatalf("first-fit small alloc %d failed", i)
+		}
+		p, ok = ff.alloc(large)
+		if !ok {
+			t.Fatalf("first-fit large alloc %d failed", i)
+		}
+		ffLarge = append(ffLarge, p)
+	}
+	for _, p := range bdLarge {
+		if err := bd.freeBlock(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range ffLarge {
+		if err := ff.freeBlock(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bd.available() != ff.available() {
+		t.Errorf("accounting diverged: buddy %d, first-fit %d", bd.available(), ff.available())
+	}
+	bdMax, ffMax := bd.largestFree(), ff.largestFree()
+	t.Logf("largest free span after churn: buddy=%d first-fit=%d", bdMax, ffMax)
+	if ffMax > 2*large {
+		t.Errorf("first-fit largest span %d unexpectedly large; trace no longer fragments", ffMax)
+	}
+	if bdMax < 8*ffMax {
+		t.Errorf("buddy largest span %d not clearly better than first-fit %d", bdMax, ffMax)
+	}
+	// The coalesced span must be usable as one allocation.
+	if _, ok := bd.alloc(bdMax); !ok {
+		t.Errorf("buddy cannot allocate its own largest span %d", bdMax)
+	}
+}
+
 // TestAllocatorInvariants property-tests the allocator against a random
 // sequence of alloc/free operations: accounting must balance, live
-// allocations must never overlap, and the free list must stay sorted
-// and coalesced.
+// allocations must never overlap each other or free space, buddy
+// blocks must stay aligned, and freeing everything must coalesce back
+// to a single span.
 func TestAllocatorInvariants(t *testing.T) {
 	check := func(ops []uint16) bool {
 		a := newAllocator(1<<20, 1<<22)
@@ -154,7 +251,13 @@ func TestAllocatorInvariants(t *testing.T) {
 				return false
 			}
 		}
-		return true
+		for _, p := range live {
+			if err := a.freeBlock(p); err != nil {
+				return false
+			}
+		}
+		spans := a.freeSpans()
+		return a.available() == a.size && len(spans) == 1 && spans[0].len == a.size
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
@@ -174,33 +277,151 @@ func allocatorInvariantsHold(a *allocator, live []uint64) bool {
 	if liveSum != a.inUse {
 		return false
 	}
+	// Buddy free lists hold aligned, in-arena, non-duplicate blocks.
 	var freeSum uint64
-	for i, s := range a.free {
-		freeSum += s.len
-		if s.len == 0 {
+	for k := range a.freeLists {
+		for i, off := range a.freeLists[k] {
+			if off&(1<<k-1) != 0 || off+1<<k > a.size {
+				return false
+			}
+			if i > 0 && a.freeLists[k][i-1] >= off {
+				return false // unsorted or duplicate
+			}
+			freeSum += 1 << k
+		}
+	}
+	// Slab chunks: free space inside chunks is neither buddy-free nor
+	// allocated; it accounts for the remainder.
+	var slabFree uint64
+	for off, m := range a.chunks {
+		if off&(chunkSize-1) != 0 || m.live == 0 {
 			return false
 		}
-		if i > 0 {
-			prev := a.free[i-1]
-			if prev.addr+prev.len > s.addr {
-				return false // overlapping or unsorted
-			}
-			if prev.addr+prev.len == s.addr {
-				return false // uncoalesced neighbours
-			}
-		}
+		slabFree += chunkSize - uint64(m.live)*m.objSize
 	}
-	if freeSum != a.available() || freeSum+liveSum != a.size {
+	if freeSum+slabFree != a.available() || freeSum+slabFree+liveSum != a.size {
 		return false
 	}
-	// Live allocations never overlap a free span.
-	for _, p := range live {
+	// Free spans are sorted, disjoint and inside the arena.
+	var prevEnd uint64
+	for _, s := range a.freeSpans() {
+		off := s.addr - a.base
+		if off < prevEnd || off+s.len > a.size {
+			return false
+		}
+		prevEnd = off + s.len
+	}
+	// Live allocations never overlap a free span or each other.
+	for i, p := range live {
 		n, _ := a.sizeOf(p)
-		for _, s := range a.free {
+		for _, s := range a.freeSpans() {
 			if p < s.addr+s.len && s.addr < p+n {
+				return false
+			}
+		}
+		for _, q := range live[i+1:] {
+			qn, _ := a.sizeOf(q)
+			if p < q+qn && q < p+n {
 				return false
 			}
 		}
 	}
 	return true
+}
+
+// TestAllocatorSlabReuse exercises the slab free/reuse cycle: a chunk
+// that fills, partially drains, and refills must keep handing out
+// non-overlapping class objects, and draining it completely must
+// return the chunk to the buddy lists.
+func TestAllocatorSlabReuse(t *testing.T) {
+	a := newAllocator(0, 1<<20)
+	objs := make(map[uint64]bool)
+	var ptrs []uint64
+	perChunk := chunkSize / allocGranularity
+	for i := 0; i < perChunk+4; i++ { // spills into a second chunk
+		p, ok := a.alloc(allocGranularity)
+		if !ok {
+			t.Fatalf("slab alloc %d failed", i)
+		}
+		if objs[p] {
+			t.Fatalf("slab handed out duplicate object %#x", p)
+		}
+		objs[p] = true
+		ptrs = append(ptrs, p)
+	}
+	if got := len(a.chunks); got != 2 {
+		t.Fatalf("chunks = %d, want 2", got)
+	}
+	// Drain and refill the first chunk's worth.
+	for _, p := range ptrs[:perChunk] {
+		if err := a.freeBlock(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(a.chunks); got != 1 {
+		t.Fatalf("chunks after drain = %d, want 1", got)
+	}
+	for _, p := range ptrs[perChunk:] {
+		if err := a.freeBlock(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.available() != 1<<20 || len(a.chunks) != 0 {
+		t.Fatalf("arena not fully returned: available=%d chunks=%d", a.available(), len(a.chunks))
+	}
+	if spans := a.freeSpans(); len(spans) != 1 {
+		t.Errorf("free space not coalesced after slab drain: %v", spans)
+	}
+}
+
+// TestAllocatorNonPowerOfTwoArena checks buddy bookkeeping on an arena
+// whose size is not a power of two (real device capacities, e.g. 3 GB).
+func TestAllocatorNonPowerOfTwoArena(t *testing.T) {
+	const arena = 3 << 20 // decomposes into 2 MiB + 1 MiB blocks
+	a := newAllocator(0, arena)
+	if got := a.largestFree(); got != arena {
+		t.Fatalf("initial largestFree = %d, want %d (adjacent blocks must span)", got, arena)
+	}
+	// A request above the largest single block must carve across the
+	// 2 MiB / 1 MiB block boundary.
+	p, ok := a.alloc(arena - (256 << 10))
+	if !ok {
+		t.Fatal("near-capacity alloc failed on non-power-of-two arena")
+	}
+	if _, ok := a.alloc(512 << 10); ok {
+		t.Error("overcommit alloc should fail")
+	}
+	if _, ok := a.alloc(256 << 10); !ok {
+		t.Error("tail alloc should fit")
+	}
+	if err := a.freeBlock(p); err != nil {
+		t.Fatal(err)
+	}
+	if a.available() != arena-(256<<10) {
+		t.Errorf("available = %d", a.available())
+	}
+}
+
+func TestCeilOrder(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want int
+	}{
+		{1, minOrder}, {255, minOrder}, {256, minOrder}, {257, 9},
+		{512, 9}, {1 << 16, 16}, {1<<16 + 1, 17}, {600 << 10, 20},
+	}
+	for _, c := range cases {
+		if got := ceilOrder(c.n); got != c.want {
+			t.Errorf("ceilOrder(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// Sanity: ceilOrder agrees with bits.Len64 semantics for powers of two.
+	for o := minOrder; o < 40; o++ {
+		if got := ceilOrder(1 << o); got != o {
+			t.Errorf("ceilOrder(1<<%d) = %d", o, got)
+		}
+		if got := bits.Len64(uint64(1)<<o) - 1; got != o {
+			t.Errorf("bits.Len64 sanity failed at %d", o)
+		}
+	}
 }

@@ -37,8 +37,15 @@ type Device struct {
 	// workloads cheap in host RAM.
 	bufs map[api.DevPtr][]byte
 
+	// The execution engine and the two copy engines are independent
+	// mutexes, mirroring dual-copy-engine GPUs: an h2d transfer, a d2h
+	// transfer and a kernel can all be in flight at once, so modeled
+	// transfer time submitted by a background goroutine (prefetch,
+	// swap-out) overlaps the modeled execution of the current kernel
+	// instead of queueing behind it.
 	execMu sync.Mutex // the execution engine: one kernel at a time
-	dmaMu  sync.Mutex // the copy engine: one DMA transfer at a time
+	h2dMu  sync.Mutex // host→device copy engine: one DMA transfer at a time
+	d2hMu  sync.Mutex // device→host copy engine: one DMA transfer at a time
 
 	failed  atomic.Bool
 	removed atomic.Bool
@@ -271,9 +278,9 @@ func (d *Device) CopyIn(dst api.DevPtr, data []byte, size uint64) error {
 	if off+size > alloc {
 		return api.ErrInvalidValue
 	}
-	d.dmaMu.Lock()
+	d.h2dMu.Lock()
 	d.clock.Sleep(d.dmaTime(size))
-	d.dmaMu.Unlock()
+	d.h2dMu.Unlock()
 	if err := d.usable(); err != nil {
 		return err
 	}
@@ -337,9 +344,9 @@ func (d *Device) CopyInBatch(items []api.HDCopy) error {
 		plans[i] = plan{base, off, alloc, size, corrupt}
 		total += d.dmaTime(size)
 	}
-	d.dmaMu.Lock()
+	d.h2dMu.Lock()
 	d.clock.Sleep(total)
-	d.dmaMu.Unlock()
+	d.h2dMu.Unlock()
 	if err := d.usable(); err != nil {
 		return err
 	}
@@ -382,9 +389,9 @@ func (d *Device) CopyOut(src api.DevPtr, size uint64) ([]byte, error) {
 	if off+size > alloc {
 		return nil, api.ErrInvalidValue
 	}
-	d.dmaMu.Lock()
+	d.d2hMu.Lock()
 	d.clock.Sleep(d.dmaTime(size))
-	d.dmaMu.Unlock()
+	d.d2hMu.Unlock()
 	if err := d.usable(); err != nil {
 		return nil, err
 	}
@@ -403,6 +410,70 @@ func (d *Device) CopyOut(src api.DevPtr, size uint64) ([]byte, error) {
 	return nil, nil
 }
 
+// CopyOutBatch lands several device→host transfers as one copy-engine
+// submission, the d2h mirror of CopyInBatch: the engine is acquired
+// once and occupied for the sum of the per-transfer model times, so
+// timing and accounting stay byte-identical to issuing each transfer
+// alone. Every source is validated before the engine is touched; a
+// batch fails as a whole. The returned slice is parallel to items;
+// entries are nil for allocations with no real backing.
+func (d *Device) CopyOutBatch(items []api.DHCopy) ([][]byte, error) {
+	if err := d.usable(); err != nil {
+		return nil, err
+	}
+	type plan struct {
+		base    api.DevPtr
+		off     uint64
+		corrupt bool
+	}
+	plans := make([]plan, len(items))
+	var total time.Duration
+	for i := range items {
+		it := &items[i]
+		var corrupt bool
+		if h := d.dmaHook; h != nil {
+			dec := h.Check()
+			corrupt = dec.Corrupt
+			if err := d.applyFault(dec); err != nil {
+				return nil, err
+			}
+		}
+		base, off, alloc, err := d.resolve(it.Src)
+		if err != nil {
+			return nil, err
+		}
+		if off+it.Size > alloc {
+			return nil, api.ErrInvalidValue
+		}
+		plans[i] = plan{base, off, corrupt}
+		total += d.dmaTime(it.Size)
+	}
+	d.d2hMu.Lock()
+	d.clock.Sleep(total)
+	d.d2hMu.Unlock()
+	if err := d.usable(); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(items))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range items {
+		p := &plans[i]
+		size := items[i].Size
+		d.d2hBytes.Add(int64(size))
+		d.d2hOps.Add(1)
+		if buf, ok := d.bufs[p.base]; ok {
+			data := make([]byte, size)
+			copy(data, buf[p.off:])
+			if p.corrupt && size > 0 {
+				data[0] ^= 0xFF
+			}
+			out[i] = data
+		}
+	}
+	return out, nil
+}
+
 // CopyDD transfers size bytes between two device allocations.
 func (d *Device) CopyDD(dst, src api.DevPtr, size uint64) error {
 	if err := d.usable(); err != nil {
@@ -419,11 +490,13 @@ func (d *Device) CopyDD(dst, src api.DevPtr, size uint64) error {
 	if doff+size > dalloc || soff+size > salloc {
 		return api.ErrInvalidValue
 	}
-	d.dmaMu.Lock()
+	// On-device copies ride the h2d engine (one engine is enough for a
+	// same-device blit; picking one side keeps the lock order trivial).
+	d.h2dMu.Lock()
 	// On-device copies are roughly an order of magnitude faster than
 	// PCIe transfers.
 	d.clock.Sleep(d.dmaTime(size / 10))
-	d.dmaMu.Unlock()
+	d.h2dMu.Unlock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if sbuf, ok := d.bufs[sb]; ok {

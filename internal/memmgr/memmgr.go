@@ -84,12 +84,23 @@ type PTE struct {
 	// LostDirty records that device-only data was lost to a device
 	// failure; the runtime clears it by replaying kernels (§4.6).
 	LostDirty bool
+	// Prefetched marks an entry whose residency was established
+	// speculatively by the predictive prefetcher; the next launch that
+	// references it consumes the mark as a prefetch hit.
+	Prefetched bool
 
 	ctxID int64
 	// data is the swap-area backing. It is materialised lazily and only
 	// for entries that carry real bytes; synthetic (timing-only)
-	// workloads keep it nil however large Size is.
+	// workloads keep it nil however large Size is. A sealed entry (see
+	// dedup.go) keeps data nil and carries its bytes in chunks instead.
 	data []byte
+	// chunks is the content-addressed form of the swap image; non-nil
+	// exactly when the entry is sealed into the dedup store.
+	chunks []*swapChunk
+	// dedupSaved counts swap bytes this entry shares with other entries
+	// (released from host occupancy while sealed).
+	dedupSaved uint64
 	// writesSinceResident counts deferred host writes folded into the
 	// next bulk host→device transfer (the §4.5 coalescing benefit).
 	writesSinceResident int
@@ -99,7 +110,7 @@ type PTE struct {
 func (p *PTE) CtxID() int64 { return p.ctxID }
 
 // HasData reports whether the entry carries real bytes in swap.
-func (p *PTE) HasData() bool { return p.data != nil }
+func (p *PTE) HasData() bool { return p.hasSwapBytes() }
 
 // Stats is a snapshot of the manager's counters.
 type Stats struct {
@@ -119,6 +130,18 @@ type Stats struct {
 	BadOpsRejected int64
 	// Checkpoints counts explicit and automatic checkpoint flushes.
 	Checkpoints int64
+	// CheckpointBytes counts bytes flushed device→swap by checkpoints
+	// (kept apart from SwapBytes, which measures only real swap-out
+	// spills — the quantity the evaluation plots).
+	CheckpointBytes int64
+	// DedupHits counts swap chunks found already interned at seal time.
+	DedupHits int64
+	// DedupSavedBytes is the swap occupancy currently avoided by chunk
+	// sharing (rises at seal, falls at COW break or free).
+	DedupSavedBytes int64
+	// CowBreaks counts sealed entries rematerialised by a mutating
+	// access.
+	CowBreaks int64
 	// HostBytesInUse is the current swap-area occupancy (modeled).
 	HostBytesInUse uint64
 }
@@ -136,10 +159,12 @@ type DeviceOps interface {
 // BatchDeviceOps is the optional batching extension of DeviceOps: a
 // bound CUDA context that implements it can land several deferred
 // host→device transfers in one copy-engine submission (FlushDeferred
-// batches through it when available).
+// batches through it when available) and spill several dirty entries
+// device→host in one submission (SwapOutAll batches through it).
 type BatchDeviceOps interface {
 	DeviceOps
 	MemcpyHDBatch(items []api.HDCopy) error
+	MemcpyDHBatch(items []api.DHCopy) ([][]byte, error)
 }
 
 // numShards is the stripe count of the manager's page-table state.
@@ -193,11 +218,19 @@ type Manager struct {
 	// own, so the tracer carries the model-time source.
 	tracer *trace.Tracer
 
-	swapOps    atomic.Int64
-	swapBytes  atomic.Int64
-	coalesced  atomic.Int64
-	badOps     atomic.Int64
-	checkpoint atomic.Int64
+	// dedup is the manager-global content-addressed chunk store
+	// (dedup.go); its own mutex orders it after the shard locks.
+	dedup dedupStore
+
+	swapOps         atomic.Int64
+	swapBytes       atomic.Int64
+	coalesced       atomic.Int64
+	badOps          atomic.Int64
+	checkpoint      atomic.Int64
+	checkpointBytes atomic.Int64
+	dedupHits       atomic.Int64
+	dedupSavedBytes atomic.Int64
+	cowBreaks       atomic.Int64
 }
 
 // virtTag marks virtual addresses so they can never be mistaken for
@@ -216,6 +249,7 @@ func New(deferTransfers bool, hostLimit uint64) *Manager {
 		DeferTransfers: deferTransfers,
 		hostLimit:      hostLimit,
 	}
+	m.dedup.chunks = make(map[uint64][]*swapChunk)
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.tables = make(map[int64][]*PTE)
@@ -286,6 +320,10 @@ func (m *Manager) Stats() Stats {
 		CoalescedWrites: m.coalesced.Load(),
 		BadOpsRejected:  m.badOps.Load(),
 		Checkpoints:     m.checkpoint.Load(),
+		CheckpointBytes: m.checkpointBytes.Load(),
+		DedupHits:       m.dedupHits.Load(),
+		DedupSavedBytes: m.dedupSavedBytes.Load(),
+		CowBreaks:       m.cowBreaks.Load(),
 		HostBytesInUse:  used,
 	}
 }
@@ -409,19 +447,19 @@ func (m *Manager) CopyHD(pte *PTE, off uint64, data []byte, size uint64, ops Dev
 	if err := m.swapWriteFault(); err != nil {
 		return err
 	}
-	// A partial deferred write over device-newer data must first pull
-	// the device copy down, or the eventual bulk transfer would clobber
-	// the kernel's output with stale swap bytes.
-	if pte.ToCopy2Swap && (off != 0 || size != pte.Size) {
-		if ops == nil {
-			return api.ErrInvalidValue
-		}
-		if err := m.syncToSwap(pte, ops); err != nil {
-			return err
-		}
+	if err := m.pullDeviceCopy(pte, off, size, ops, false); err != nil {
+		return err
 	}
 	if data != nil {
-		copy(pte.swapData()[off:], data)
+		if off == 0 && size == pte.Size {
+			// Full overwrite: drop any chunk sharing without
+			// rematerialising the old image, then re-seal the new one.
+			m.discardSeal(pte)
+			copy(pte.swapData(), data)
+			m.seal(pte)
+		} else {
+			copy(m.mutableSwap(pte)[off:], data)
+		}
 	}
 	pte.ToCopy2Swap = false
 	if !m.DeferTransfers && pte.IsAllocated && ops != nil {
@@ -450,16 +488,11 @@ func (m *Manager) Memset(pte *PTE, off uint64, value byte, size uint64, ops Devi
 	if err := m.swapWriteFault(); err != nil {
 		return err
 	}
-	if pte.ToCopy2Swap && (off != 0 || size != pte.Size) {
-		if ops == nil {
-			return api.ErrInvalidValue
-		}
-		if err := m.syncToSwap(pte, ops); err != nil {
-			return err
-		}
+	if err := m.pullDeviceCopy(pte, off, size, ops, false); err != nil {
+		return err
 	}
-	if pte.data != nil || value != 0 {
-		buf := pte.swapData()
+	if pte.hasSwapBytes() || value != 0 {
+		buf := m.mutableSwap(pte)
 		for i := off; i < off+size; i++ {
 			buf[i] = value
 		}
@@ -492,20 +525,34 @@ func (m *Manager) CopyDH(pte *PTE, off, size uint64, ops DeviceOps) ([]byte, err
 		m.badOps.Add(1)
 		return nil, api.ErrInvalidValue
 	}
-	if pte.ToCopy2Swap {
-		if ops == nil {
-			return nil, api.ErrInvalidValue
-		}
-		if err := m.syncToSwap(pte, ops); err != nil {
-			return nil, err
-		}
+	if err := m.pullDeviceCopy(pte, off, size, ops, true); err != nil {
+		return nil, err
 	}
-	if pte.data == nil {
+	if !pte.hasSwapBytes() {
 		return nil, nil
 	}
 	out := make([]byte, size)
-	copy(out, pte.data[off:])
+	pte.readSwapRange(out, off)
 	return out, nil
+}
+
+// pullDeviceCopy ensures the swap copy reflects device-newer data
+// before a host-side access touches it (the former three near-identical
+// guards of CopyHD/Memset/CopyDH). Reads always need the pull; a write
+// needs it only when partial — a full-extent overwrite replaces the
+// whole image anyway, and syncing first would clobber nothing but cost
+// a transfer.
+func (m *Manager) pullDeviceCopy(pte *PTE, off, size uint64, ops DeviceOps, read bool) error {
+	if !pte.ToCopy2Swap {
+		return nil
+	}
+	if !read && off == 0 && size == pte.Size {
+		return nil
+	}
+	if ops == nil {
+		return api.ErrInvalidValue
+	}
+	return m.syncToSwap(pte, ops)
 }
 
 // syncToSwap pulls the whole entry device→swap and clears ToCopy2Swap.
@@ -529,10 +576,14 @@ func (m *Manager) syncToSwap(pte *PTE, ops DeviceOps) error {
 		}
 	}
 	if data != nil {
+		m.discardSeal(pte)
 		copy(pte.swapData(), data)
 		if pte.Nested != nil {
 			m.patchPointers(pte, pte.swapData(), true)
 		}
+		// A device→swap sync produces a full consistent image — the
+		// natural point to intern it for cross-context sharing.
+		m.seal(pte)
 	}
 	pte.ToCopy2Swap = false
 	m.noteWrite(pte)
@@ -564,7 +615,12 @@ func (m *Manager) Free(pte *PTE, ops DeviceOps) error {
 	}
 	s.mu.Unlock()
 	if removed {
-		m.releaseHost(pte.Size)
+		// Shared chunk bytes were already released at seal time; only
+		// the entry's private share of host occupancy returns here.
+		m.dedupSavedBytes.Add(-int64(pte.dedupSaved))
+		m.releaseHost(pte.Size - pte.dedupSaved)
+		pte.dedupSaved = 0
+		m.dropChunks(pte)
 	}
 	if !removed {
 		m.badOps.Add(1)
@@ -676,13 +732,16 @@ func (m *Manager) makeResident(pte *PTE, ops DeviceOps, depth int) error {
 	}
 	if pte.ToCopy2Dev {
 		var img []byte
-		if pte.data != nil {
-			img = pte.swapData()
+		if pte.hasSwapBytes() {
 			if pte.Nested != nil {
 				// Install device addresses in the on-device image; the
 				// swap image keeps virtual addresses.
-				img = append([]byte(nil), img...)
+				img = pte.swapImageCopy()
 				m.patchPointers(pte, img, false)
+			} else {
+				// Read-only use: a sealed entry hands out a fresh copy,
+				// an unsealed one its private buffer.
+				img = pte.swapView()
 			}
 		}
 		t := m.tracer
@@ -702,10 +761,10 @@ func (m *Manager) makeResident(pte *PTE, ops DeviceOps, depth int) error {
 		}
 		pte.writesSinceResident = 0
 		pte.ToCopy2Dev = false
-	} else if pte.Nested != nil && pte.data != nil {
+	} else if pte.Nested != nil && pte.hasSwapBytes() {
 		// Data already on device but member residency may have changed
 		// the embedded addresses; refresh the pointer words only.
-		img := append([]byte(nil), pte.swapData()...)
+		img := pte.swapImageCopy()
 		m.patchPointers(pte, img, false)
 		for _, o := range pte.Nested.Offsets {
 			if err := ops.MemcpyHD(pte.Device+api.DevPtr(o), img[o:o+8], 8); err != nil {
@@ -790,8 +849,8 @@ func (m *Manager) FlushDeferred(ptes []*PTE, ops DeviceOps) error {
 	var total uint64
 	for i, pte := range batch {
 		var img []byte
-		if pte.data != nil {
-			img = pte.swapData()
+		if pte.hasSwapBytes() {
+			img = pte.swapView()
 		}
 		items[i] = api.HDCopy{Dst: pte.Device, Data: img, Size: pte.Size}
 		total += pte.Size
@@ -886,8 +945,33 @@ func (m *Manager) SwapOut(pte *PTE, ops DeviceOps) error {
 // swapped") and the implicit checkpoint that precedes unbinding and
 // migration. It returns the number of entries swapped.
 func (m *Manager) SwapOutAll(ctxID int64, ops DeviceOps) (int, error) {
+	return m.SwapOutEntries(m.EntriesOf(ctxID), ops)
+}
+
+// SwapOutEntries swaps out the given entries (non-resident ones are
+// skipped), spilling all dirty ones in one copy-engine submission when
+// the bound context supports batching; the per-entry SwapOut pass below
+// then only frees device memory and flips flags. Besides the unbind
+// path, this serves batched intra-application eviction: a launch that
+// must displace a whole working set submits one d2h batch instead of
+// one engine round trip per victim. It returns the number of entries
+// swapped.
+func (m *Manager) SwapOutEntries(entries []*PTE, ops DeviceOps) (int, error) {
+	if bops, ok := ops.(BatchDeviceOps); ok {
+		var dirty []*PTE
+		for _, pte := range entries {
+			if pte.IsAllocated && pte.ToCopy2Swap {
+				dirty = append(dirty, pte)
+			}
+		}
+		if len(dirty) >= 2 {
+			if err := m.syncBatchToSwap(dirty, bops); err != nil {
+				return 0, err
+			}
+		}
+	}
 	n := 0
-	for _, pte := range m.EntriesOf(ctxID) {
+	for _, pte := range entries {
 		if !pte.IsAllocated {
 			continue
 		}
@@ -897,6 +981,57 @@ func (m *Manager) SwapOutAll(ctxID int64, ops DeviceOps) (int, error) {
 		n++
 	}
 	return n, nil
+}
+
+// syncBatchToSwap pulls several dirty entries device→swap as one
+// copy-engine submission — the unbind fast path: an inter-application
+// swap spills a whole working set at once. Timing, byte accounting and
+// fault-hook consultation match the per-entry syncToSwap path exactly
+// (one hook check and one SwapBytes credit per entry; the engine hold
+// is the sum of the per-item modeled times); only per-transfer engine
+// round trips are saved.
+func (m *Manager) syncBatchToSwap(dirty []*PTE, ops BatchDeviceOps) error {
+	for range dirty {
+		if err := m.swapWriteFault(); err != nil {
+			return err
+		}
+	}
+	items := make([]api.DHCopy, len(dirty))
+	var total uint64
+	for i, pte := range dirty {
+		items[i] = api.DHCopy{Src: pte.Device, Size: pte.Size}
+		total += pte.Size
+	}
+	t := m.tracer
+	start := t.Start()
+	datas, err := ops.MemcpyDHBatch(items)
+	if err != nil {
+		// Entries keep ToCopy2Swap set: the device copy stays
+		// authoritative, a legal Figure 4 state, and the caller's
+		// per-entry pass (or the next unbind) retries the sync.
+		return err
+	}
+	if t != nil {
+		elapsed := t.Start() - start
+		t.Observe(t.D2H, int64(elapsed))
+		if elapsed > 0 && t.Spans() {
+			t.Span("d2h", dirty[0].ctxID, start, -1, fmt.Sprintf("%d bytes in %d batched transfers", total, len(dirty)))
+		}
+	}
+	for i, pte := range dirty {
+		if data := datas[i]; data != nil {
+			m.discardSeal(pte)
+			copy(pte.swapData(), data)
+			if pte.Nested != nil {
+				m.patchPointers(pte, pte.swapData(), true)
+			}
+			m.seal(pte)
+		}
+		pte.ToCopy2Swap = false
+		m.swapBytes.Add(int64(pte.Size))
+		m.noteWrite(pte)
+	}
+	return nil
 }
 
 // Checkpoint flushes every device-newer entry of the context to swap
@@ -912,7 +1047,7 @@ func (m *Manager) Checkpoint(ctxID int64, ops DeviceOps) (int, error) {
 		if err := m.syncToSwap(pte, ops); err != nil {
 			return n, err
 		}
-		m.swapBytes.Add(int64(pte.Size))
+		m.checkpointBytes.Add(int64(pte.Size))
 		n++
 	}
 	m.checkpoint.Add(1)
@@ -952,7 +1087,8 @@ func (m *Manager) ClearLost(ctxID int64) {
 // ReleaseContext drops the whole page table and swap area of a context
 // (application exit), freeing any device memory it still holds.
 func (m *Manager) ReleaseContext(ctxID int64, ops DeviceOps) {
-	for _, pte := range m.EntriesOf(ctxID) {
+	entries := m.EntriesOf(ctxID)
+	for _, pte := range entries {
 		if pte.IsAllocated && ops != nil {
 			_ = ops.Free(pte.Device)
 		}
@@ -964,6 +1100,16 @@ func (m *Manager) ReleaseContext(ctxID int64, ops DeviceOps) {
 	delete(s.usage, ctxID)
 	delete(s.next, ctxID)
 	s.mu.Unlock()
+	for _, pte := range entries {
+		// Shared chunk bytes were released at seal time; the bulk
+		// release below must not return them a second time.
+		if pte.dedupSaved > 0 {
+			released -= pte.dedupSaved
+			m.dedupSavedBytes.Add(-int64(pte.dedupSaved))
+			pte.dedupSaved = 0
+		}
+		m.dropChunks(pte)
+	}
 	m.releaseHost(released)
 	if m.obs != nil {
 		m.obs.ContextReleased(ctxID)

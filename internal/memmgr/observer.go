@@ -34,10 +34,10 @@ func (p *PTE) image() EntryImage {
 		Virtual: p.Virtual,
 		Size:    p.Size,
 		Kind:    p.Kind,
-		HasData: p.data != nil,
+		HasData: p.hasSwapBytes(),
 	}
-	if p.data != nil {
-		e.Data = append([]byte(nil), p.data...)
+	if e.HasData {
+		e.Data = p.swapImageCopy()
 	}
 	if p.Nested != nil {
 		e.NestedMembers = append([]api.DevPtr(nil), p.Nested.Members...)

@@ -236,6 +236,12 @@ type Timings struct {
 	JournalCommitWall Histogram
 	// PeerCall is per-peer-RPC round-trip time.
 	PeerCall Histogram
+	// Prefetch is per-speculative-swap-in duration (the background
+	// residency work done between a context's kernel calls).
+	Prefetch Histogram
+	// DedupSaved is bytes saved per swap-image seal that shared at
+	// least one chunk with the dedup store.
+	DedupSaved Histogram
 }
 
 // Snapshot renders every histogram with a non-zero count, keyed by
@@ -257,6 +263,8 @@ func (t *Timings) Snapshot() map[string]HistSnapshot {
 		"d2h":                 &t.D2H,
 		"journal_commit_wall": &t.JournalCommitWall,
 		"peer_call":           &t.PeerCall,
+		"prefetch":            &t.Prefetch,
+		"dedup_saved":         &t.DedupSaved,
 	}
 	for name, h := range named {
 		if s := h.Snapshot(); s.Count > 0 {

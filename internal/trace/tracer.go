@@ -16,6 +16,12 @@ type Tracer struct {
 	SwapBytes *Histogram
 	H2D       *Histogram
 	D2H       *Histogram
+	// DedupSaved observes the bytes saved each time a swap image seals
+	// with at least one shared chunk.
+	DedupSaved *Histogram
+	// Prefetch observes the model-time duration of speculative swap-in
+	// work done by the predictive prefetcher.
+	Prefetch *Histogram
 }
 
 // Start returns the current model time, or 0 on a nil tracer.
