@@ -90,6 +90,9 @@ func main() {
 		tortureRounds   = flag.Int("torture-rounds", 8, "crash-torture rounds (scenarios cycle: pre-fsync, post-fsync, mid-compaction, torn tail)")
 		tortureSessions = flag.Int("torture-sessions", 3, "concurrent sessions per torture round")
 		tortureLaunches = flag.Int("torture-launches", 12, "kernel launches per torture session")
+
+		failoverMode   = flag.Bool("failover", false, "failover-torture mode: SIGKILL a source/target node pair at armed failover crash points and verify every acked kernel is observable after takeover, with deposed writes fenced")
+		failoverRounds = flag.Int("failover-rounds", 6, "failover-torture rounds (scenarios cycle: source kill mid-launch, source kill mid-transfer, target kill mid-import); sessions/launches reuse the -torture-* flags")
 	)
 	flag.Parse()
 
@@ -100,6 +103,9 @@ func main() {
 	}
 	if *torture {
 		os.Exit(runTorture(*seed, *tortureRounds, *tortureSessions, *tortureLaunches, *timeout))
+	}
+	if *failoverMode {
+		os.Exit(runFailover(*seed, *failoverRounds, *tortureSessions, *tortureLaunches, *timeout))
 	}
 
 	plan, ok := plans(*seed)[*planName]

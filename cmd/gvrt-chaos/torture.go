@@ -28,11 +28,16 @@ import (
 )
 
 // Environment contract between the torture parent and its daemon child.
+// The failover-torture additions (node/base/migdir) are optional; when
+// unset the child behaves exactly as the original crash-torture daemon.
 const (
-	envTortureChild = "GVRT_TORTURE_CHILD" // "1": run as daemon child
-	envTortureDir   = "GVRT_TORTURE_DIR"   // journal directory
-	envTorturePoint = "GVRT_TORTURE_POINT" // armed crash point ("" = none)
-	envTortureNth   = "GVRT_TORTURE_NTH"   // 1-based occurrence to crash at
+	envTortureChild  = "GVRT_TORTURE_CHILD"  // "1": run as daemon child
+	envTortureDir    = "GVRT_TORTURE_DIR"    // journal directory
+	envTorturePoint  = "GVRT_TORTURE_POINT"  // armed crash point ("" = none)
+	envTortureNth    = "GVRT_TORTURE_NTH"    // 1-based occurrence to crash at
+	envTortureNode   = "GVRT_TORTURE_NODE"   // node name for leases/migration ("" = no lease table)
+	envTortureBase   = "GVRT_TORTURE_BASE"   // SessionBase for locally-created contexts
+	envTortureMigDir = "GVRT_TORTURE_MIGDIR" // migration pending-op/spool directory
 )
 
 // tortureChild is the daemon half: open (and recover) the journal, arm
@@ -75,12 +80,27 @@ func tortureChild() {
 	dev := gvrt.NewDevice(0, spec, clock)
 	crt := gvrt.NewCUDARuntime(clock, dev)
 	crt.SetLimits(1024, 0, 0)
-	rt, err := gvrt.NewRuntime(crt, gvrt.Config{
+	cfg := gvrt.Config{
 		VGPUsPerDevice: 4,
 		CallOverhead:   -1,
 		BindBackoff:    time.Millisecond,
 		Faults:         plane,
-	})
+		NodeName:       os.Getenv(envTortureNode),
+		MigrateDir:     os.Getenv(envTortureMigDir),
+	}
+	if b := os.Getenv(envTortureBase); b != "" {
+		if cfg.SessionBase, err = strconv.ParseInt(b, 10, 64); err != nil {
+			fmt.Fprintf(os.Stderr, "torture child: bad %s: %v\n", envTortureBase, err)
+			os.Exit(2)
+		}
+	}
+	if cfg.NodeName != "" {
+		// Failover-torture children fence mutating calls against a local
+		// lease table; the epoch bump that deposes a migrated-away session
+		// happens in-process, so no cross-process table is needed.
+		cfg.Leases = gvrt.NewLeaseTable(time.Hour, clock.Now)
+	}
+	rt, err := gvrt.NewRuntime(crt, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "torture child: runtime: %v\n", err)
 		os.Exit(2)
@@ -111,15 +131,28 @@ type child struct {
 	exited chan error
 }
 
-// startChild re-execs this binary as a daemon child over dir, arming
-// crash point/nth when point is non-empty, and waits for its handshake.
-func startChild(exe, dir, point string, nth uint64, timeout time.Duration) (*child, error) {
+// childOpts configures one daemon child spawn.
+type childOpts struct {
+	dir    string // journal directory
+	point  string // armed crash point ("" = none)
+	nth    uint64 // 1-based occurrence to crash at
+	node   string // node name ("" = plain crash-torture child)
+	base   int64  // SessionBase for locally-created contexts
+	migDir string // migration pending-op/spool directory
+}
+
+// startChild re-execs this binary as a daemon child, arming crash
+// point/nth when o.point is non-empty, and waits for its handshake.
+func startChild(exe string, o childOpts, timeout time.Duration) (*child, error) {
 	cmd := exec.Command(exe)
 	cmd.Env = append(os.Environ(),
 		envTortureChild+"=1",
-		envTortureDir+"="+dir,
-		envTorturePoint+"="+point,
-		envTortureNth+"="+strconv.FormatUint(nth, 10),
+		envTortureDir+"="+o.dir,
+		envTorturePoint+"="+o.point,
+		envTortureNth+"="+strconv.FormatUint(o.nth, 10),
+		envTortureNode+"="+o.node,
+		envTortureBase+"="+strconv.FormatInt(o.base, 10),
+		envTortureMigDir+"="+o.migDir,
 	)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
@@ -259,22 +292,87 @@ func runTorture(seed int64, rounds, sessions, launches int, timeout time.Duratio
 // tortureRound runs one crash → recover → verify cycle.
 func tortureRound(exe, dir, point string, nth uint64, torn bool, rng *gvrt.RNG,
 	sessions, launches int, timeout time.Duration) error {
-	victim, err := startChild(exe, dir, point, nth, timeout)
+	victim, err := startChild(exe, childOpts{dir: dir, point: point, nth: nth}, timeout)
 	if err != nil {
 		return fmt.Errorf("starting victim daemon: %v", err)
 	}
 	defer victim.kill()
 
-	// The workload: each session seeds a buffer and issues increments
-	// until the daemon dies under it. Only daemon-acknowledged launches
-	// count — that is exactly the durability contract under test.
+	recs := runWorkload(victim.addr, rng, sessions, launches)
+	if point == "" {
+		victim.kill() // the scheduled hard kill after a completed workload
+	} else {
+		victim.awaitExit(timeout)
+	}
+	for _, s := range recs {
+		if s.client != nil {
+			s.client.Close() // daemon is dead; this only frees the socket
+		}
+	}
+
+	if torn {
+		// A torn write: garbage bytes where the next record would go.
+		garbage := make([]byte, 1+rng.Intn(200))
+		for i := range garbage {
+			garbage[i] = byte(rng.Intn(256))
+		}
+		f, err := os.OpenFile(filepath.Join(dir, "journal.wal"), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("injecting torn tail: %v", err)
+		}
+		f.Write(garbage)
+		f.Close()
+	}
+
+	// Recovery: a fresh daemon over the same directory, nothing armed.
+	doctor, err := startChild(exe, childOpts{dir: dir}, timeout)
+	if err != nil {
+		return fmt.Errorf("starting recovery daemon: %v", err)
+	}
+	defer doctor.kill()
+
+	committed, verified, skipped := 0, 0, 0
+	for i, s := range recs {
+		if s.id == 0 {
+			// The session died before it even learned its ID; nothing to
+			// judge recovery against — but a skip is not a pass, so it is
+			// counted and the round fails if every subcheck skipped.
+			skipped++
+			fmt.Printf("  skip: session %d never learned its ID (%v)\n", i, s.err)
+			continue
+		}
+		if s.acked > 0 {
+			committed++
+		}
+		if err := verifySession(doctor.addr, s, point == "" || torn); err != nil {
+			return fmt.Errorf("session %d (id %d, %d acked): %v", i, s.id, s.acked, err)
+		}
+		verified++
+	}
+	if verified == 0 {
+		return fmt.Errorf("verdict vacuous: all %d sessions skipped on setup errors; nothing was verified", skipped)
+	}
+	if committed == 0 {
+		fmt.Printf("  note: crash landed before any launch was acknowledged; "+
+			"verified %d uncommitted sessions loosely\n", verified)
+	}
+	return nil
+}
+
+// runWorkload drives sessions concurrent data-checked sessions against
+// the daemon at addr: each seeds a buffer and issues increments until it
+// finishes or the daemon dies under it. Only daemon-acknowledged calls
+// count — that is exactly the durability contract under test. Clients
+// are left open (an orderly Close would retire the session); the caller
+// closes them once the victim is dead.
+func runWorkload(addr string, rng *gvrt.RNG, sessions, launches int) []*tortureSession {
 	recs := make([]*tortureSession, sessions)
 	done := make(chan struct{})
 	for i := range recs {
 		recs[i] = &tortureSession{seed: byte(64 + i)}
 		go func(s *tortureSession, pressure uint64) {
 			defer func() { done <- struct{}{} }()
-			conn, err := gvrt.Dial(victim.addr)
+			conn, err := gvrt.Dial(addr)
 			if err != nil {
 				s.err = err
 				return
@@ -308,57 +406,7 @@ func tortureRound(exe, dir, point string, nth uint64, torn bool, rng *gvrt.RNG,
 	for range recs {
 		<-done
 	}
-	if point == "" {
-		victim.kill() // the scheduled hard kill after a completed workload
-	} else {
-		victim.awaitExit(timeout)
-	}
-	for _, s := range recs {
-		if s.client != nil {
-			s.client.Close() // daemon is dead; this only frees the socket
-		}
-	}
-
-	if torn {
-		// A torn write: garbage bytes where the next record would go.
-		garbage := make([]byte, 1+rng.Intn(200))
-		for i := range garbage {
-			garbage[i] = byte(rng.Intn(256))
-		}
-		f, err := os.OpenFile(filepath.Join(dir, "journal.wal"), os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return fmt.Errorf("injecting torn tail: %v", err)
-		}
-		f.Write(garbage)
-		f.Close()
-	}
-
-	// Recovery: a fresh daemon over the same directory, nothing armed.
-	doctor, err := startChild(exe, dir, "", 0, timeout)
-	if err != nil {
-		return fmt.Errorf("starting recovery daemon: %v", err)
-	}
-	defer doctor.kill()
-
-	committed := 0
-	for i, s := range recs {
-		if s.id == 0 {
-			// The session died before it even learned its ID; nothing to
-			// judge recovery against.
-			continue
-		}
-		if s.acked > 0 {
-			committed++
-		}
-		if err := verifySession(doctor.addr, s, point == "" || torn); err != nil {
-			return fmt.Errorf("session %d (id %d, %d acked): %v", i, s.id, s.acked, err)
-		}
-	}
-	if committed == 0 {
-		fmt.Printf("  note: crash landed before any launch was acknowledged; "+
-			"verified %d uncommitted sessions loosely\n", len(recs))
-	}
-	return nil
+	return recs
 }
 
 // verifySession resumes one session against the recovery daemon and

@@ -75,6 +75,12 @@ func render(addr string, st, prev gvrt.RuntimeStats, havePrev bool, interval tim
 	fmt.Fprintf(&b, "queue %d  contexts %d  calls %d  binds %d  swaps %d  migrations %d  recoveries %d  offloaded %d  sheds %d\n",
 		st.QueueDepth, st.LiveContexts, st.CallsServed, st.Binds,
 		st.SwapOps, st.Migrations, st.Recoveries, st.Offloaded, st.Sheds)
+	if st.MigrationsStarted+st.MigrationsCompleted+st.MigrationsAborted+
+		st.FenceRejections+st.LeaseRenewals > 0 {
+		fmt.Fprintf(&b, "failover: migrations %d started / %d completed / %d aborted  fenced %d  lease renewals %d\n",
+			st.MigrationsStarted, st.MigrationsCompleted, st.MigrationsAborted,
+			st.FenceRejections, st.LeaseRenewals)
+	}
 	if havePrev {
 		secs := interval.Seconds()
 		if secs <= 0 {
@@ -145,10 +151,10 @@ func launches(st gvrt.RuntimeStats) int64 {
 	return n
 }
 
-// fmtVal renders a histogram value in its unit: bytes for swap_bytes,
-// model-time duration otherwise.
+// fmtVal renders a histogram value in its unit: bytes for byte-sized
+// histograms, model-time duration otherwise.
 func fmtVal(key string, v int64) string {
-	if key == "swap_bytes" {
+	if key == "swap_bytes" || key == "migration_bytes" {
 		return fmt.Sprintf("%dB", v)
 	}
 	return time.Duration(v).String()

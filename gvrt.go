@@ -51,6 +51,7 @@ import (
 	"gvrt/internal/cluster"
 	"gvrt/internal/core"
 	"gvrt/internal/cudart"
+	"gvrt/internal/failover"
 	"gvrt/internal/faultinject"
 	"gvrt/internal/frontend"
 	"gvrt/internal/gpu"
@@ -207,6 +208,8 @@ const (
 	TraceBreakerTrip = trace.KindBreakerTrip
 	TraceBreakerHeal = trace.KindBreakerHeal
 	TraceExit        = trace.KindExit
+	TraceFence       = trace.KindFence
+	TraceCrossMig    = trace.KindCrossMigration
 )
 
 // Causal-span and histogram types (DESIGN.md §10): a Runtime with a
@@ -292,6 +295,9 @@ const (
 	FaultJournalPreSync  = faultinject.PointJournalPreSync
 	FaultJournalPostSync = faultinject.PointJournalPostSync
 	FaultJournalCompact  = faultinject.PointJournalCompact
+	FaultLeaseCheck      = faultinject.PointLeaseCheck
+	FaultMigrateTransfer = faultinject.PointMigrateTransfer
+	FaultMigrateImport   = faultinject.PointMigrateImport
 )
 
 // Fault actions.
@@ -342,6 +348,48 @@ var ErrCorruptJournalSnapshot = ckptlog.ErrCorruptSnapshot
 
 // NewFaultPlane arms a fault plan.
 func NewFaultPlane(plan FaultPlan) *FaultPlane { return faultinject.New(plan) }
+
+// Failover plane (DESIGN.md §13): lease-fenced session ownership and
+// journaled live context migration across nodes.
+type (
+	// LeaseTable is the cluster's shared session-lease registry; wire
+	// the same Table into every node's Config.Leases.
+	LeaseTable = failover.Table
+	// Lease is one session's ownership record.
+	Lease = failover.Lease
+	// FailoverMonitor promotes a peer for every session whose owner's
+	// lease expired.
+	FailoverMonitor = failover.Monitor
+	// FailoverMonitorConfig tunes a FailoverMonitor.
+	FailoverMonitorConfig = failover.MonitorConfig
+	// MigrationPendingRecord describes one in-flight migration import
+	// (the target's crash-safety sidecar).
+	MigrationPendingRecord = failover.PendingRecord
+)
+
+// NewLeaseTable builds a session-lease table with the given TTL (<= 0
+// selects the default) over the cluster's model clock.
+func NewLeaseTable(ttl time.Duration, now func() time.Duration) *LeaseTable {
+	return failover.NewTable(ttl, now)
+}
+
+// StartFailoverMonitor launches a lease-table scanner that steals
+// expired leases and runs cfg.Promote for each deposed session.
+func StartFailoverMonitor(cfg FailoverMonitorConfig) *FailoverMonitor {
+	return failover.StartMonitor(cfg)
+}
+
+// MigrationPendingOps lists the in-flight import records in a migration
+// directory (operator introspection; boot-time recovery resolves them).
+func MigrationPendingOps(dir string) []MigrationPendingRecord {
+	return failover.PendingOps(dir)
+}
+
+// NewFailoverBackoff builds the decorrelated-jitter backoff used to
+// space promotion retries.
+func NewFailoverBackoff(base, cap time.Duration, rng *RNG) *resilience.Backoff {
+	return resilience.NewBackoff(base, cap, rng)
+}
 
 // Resilience types: the self-healing layer's policy primitives (call
 // deadlines, retry budgets, circuit breakers). Cluster nodes wire these
@@ -417,6 +465,7 @@ const (
 	ErrOverloaded           = api.ErrOverloaded
 	ErrSessionClaimed       = api.ErrSessionClaimed
 	ErrJournalFailure       = api.ErrJournalFailure
+	ErrFenced               = api.ErrFenced
 )
 
 // ErrorCode extracts the result code from an error returned by the

@@ -223,6 +223,29 @@ type CheckpointCall struct{}
 // committing real work to a possibly-still-dead peer.
 type PingCall struct{}
 
+// MigrateCall asks the runtime to migrate this connection's session to
+// the node listening at Target: checkpoint, export the sealed image,
+// ship it chunk-by-chunk over a transport connection (failover wire
+// protocol), and — on a committed import — depose the local copy so any
+// later mutating call on this connection is fenced with ErrFenced. The
+// client then reconnects to Target and Resumes under the same session
+// ID.
+type MigrateCall struct{ Target string }
+
+// MigrateFrameCall carries one failover wire-protocol frame (hello /
+// chunk / commit; see internal/failover) to a migration target. The
+// reply's Data holds the response frame (need-set for hello, result for
+// commit).
+type MigrateFrameCall struct{ Frame []byte }
+
+// AdoptCall is the failover promotion primitive: recover every session
+// committed in the journal directory Dir — a dead owner's durable state
+// on shared storage — into this runtime as orphan sessions that clients
+// re-attach to with ResumeCall. Reply.Count reports how many sessions
+// were adopted. The caller (cluster failover monitor, or an operator)
+// must have fenced the old owner via the lease table first.
+type AdoptCall struct{ Dir string }
+
 // ExitCall announces the orderly end of an application thread; the
 // runtime releases its context, page table and swap space.
 type ExitCall struct{}
@@ -245,6 +268,9 @@ func (GetSessionCall) CallName() string        { return "gvrtGetSession" }
 func (ResumeCall) CallName() string            { return "gvrtResume" }
 func (CheckpointCall) CallName() string        { return "gvrtCheckpoint" }
 func (PingCall) CallName() string              { return "gvrtPing" }
+func (MigrateCall) CallName() string           { return "gvrtMigrate" }
+func (MigrateFrameCall) CallName() string      { return "gvrtMigrateFrame" }
+func (AdoptCall) CallName() string             { return "gvrtAdopt" }
 func (ExitCall) CallName() string              { return "gvrtExit" }
 
 // Reply is the synchronous response to a Call.
@@ -317,5 +343,8 @@ func init() {
 	gob.Register(ResumeCall{})
 	gob.Register(CheckpointCall{})
 	gob.Register(PingCall{})
+	gob.Register(MigrateCall{})
+	gob.Register(MigrateFrameCall{})
+	gob.Register(AdoptCall{})
 	gob.Register(ExitCall{})
 }

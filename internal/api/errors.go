@@ -86,6 +86,13 @@ const (
 	// and a crash may lose them, so the runtime refuses to acknowledge
 	// the call as successful.
 	ErrJournalFailure
+	// ErrFenced reports a mutating operation issued under a session
+	// lease this node no longer holds: ownership moved (failover or
+	// migration bumped the lease epoch), so the deposed owner's write
+	// is rejected instead of corrupting state it no longer owns. The
+	// condition is permanent for this connection — retrying cannot
+	// succeed; the client must reconnect to the new owner and Resume.
+	ErrFenced
 )
 
 var errNames = map[Error]string{
@@ -108,6 +115,7 @@ var errNames = map[Error]string{
 	ErrOverloaded:           "node overloaded, admission refused",
 	ErrSessionClaimed:       "session already resumed by another connection",
 	ErrJournalFailure:       "durability journal write failed",
+	ErrFenced:               "session lease lost, write fenced",
 }
 
 // Error implements the error interface. Success should never be wrapped

@@ -57,6 +57,18 @@ type RuntimeStats struct {
 	DedupSavedBytes int64 `json:"dedup_saved_bytes"`
 	CowBreaks       int64 `json:"cow_breaks"`
 	Migrations     int64         `json:"migrations"`
+	// MigrationsStarted / MigrationsCompleted / MigrationsAborted count
+	// cross-node context migrations (journaled image transfers plus
+	// failover promotions), as opposed to Migrations above, which counts
+	// intra-node device re-bindings (§5.3.4 load balancing).
+	MigrationsStarted   int64 `json:"migrations_started"`
+	MigrationsCompleted int64 `json:"migrations_completed"`
+	MigrationsAborted   int64 `json:"migrations_aborted"`
+	// FenceRejections counts mutating calls rejected with ErrFenced
+	// because the session's lease epoch moved; LeaseRenewals counts
+	// successful lease extensions piggybacked on served calls.
+	FenceRejections int64         `json:"fence_rejections"`
+	LeaseRenewals   int64         `json:"lease_renewals"`
 	Recoveries     int64         `json:"recoveries"`
 	Replays        int64         `json:"replays"`
 	DeviceFailures int64         `json:"device_failures"`

@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gvrt/internal/api"
+	"gvrt/internal/ckptlog"
+	"gvrt/internal/core"
+	"gvrt/internal/failover"
+	"gvrt/internal/frontend"
+	"gvrt/internal/gpu"
+	"gvrt/internal/resilience"
+	"gvrt/internal/sim"
+)
+
+// connectFull opens a node connection with the full client surface
+// (SessionID, Resume, Stats) rather than the workload.CUDA subset.
+func connectFull(t *testing.T, n *Node) *frontend.Client {
+	t.Helper()
+	c, err := n.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.(*frontend.Client)
+}
+
+// failoverBinID registers a deterministic increment kernel for data
+// verification across a node takeover.
+const failoverBinID = "cluster-failover-bin"
+
+func failoverBinary() api.FatBinary {
+	return api.FatBinary{
+		ID:      failoverBinID,
+		Kernels: []api.KernelMeta{{Name: "inc", BaseTime: time.Millisecond}},
+	}
+}
+
+func init() {
+	api.RegisterKernelImpl(failoverBinID, "inc", func(mem api.KernelMemory, scalars []uint64) error {
+		buf, err := mem.Arg(0)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < int(scalars[0]); i++ {
+			buf[i]++
+		}
+		return nil
+	})
+}
+
+// TestFencedPermanentNoRetryBudget is the offload-path regression for
+// the fencing satellite: a deposed owner's mutating call must surface
+// ErrFenced through the retry-wrapped client WITHOUT spending any retry
+// budget — retrying a fenced write can never succeed (the lease moved),
+// and burning tokens on it would slow down real transient recovery.
+func TestFencedPermanentNoRetryBudget(t *testing.T) {
+	clock := sim.NewClock(1e-7)
+	table := failover.NewTable(5*time.Second, clock.Now)
+	n, err := NewNode("node-a", clock, []gpu.Spec{tinySpec()},
+		core.Config{CallOverhead: -1, Leases: table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	c := connectFull(t, n) // retry-wrapped, like every cluster client
+	defer c.Close()
+	if _, err := c.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	session, err := c.SessionID()
+	if err != nil || session == 0 {
+		t.Fatalf("SessionID = %d, %v", session, err)
+	}
+	if l, ok := table.Lookup(session); !ok || l.Owner != "node-a" {
+		t.Fatalf("lease after connect = %+v, %v; want owned by node-a", l, ok)
+	}
+
+	// Another node steals ownership (modeled as a revocation: epoch
+	// bumps, owner cleared — the deposed node's epoch can never match
+	// again).
+	table.Revoke(session)
+
+	if _, err := c.Malloc(64); !errors.Is(err, api.ErrFenced) {
+		t.Fatalf("mutating call after revoke err = %v, want ErrFenced", err)
+	}
+	m := n.RT.Metrics()
+	if m.RetriesSpent != 0 {
+		t.Errorf("RetriesSpent = %d, want 0: ErrFenced must be classified permanent", m.RetriesSpent)
+	}
+	if m.FenceRejections == 0 {
+		t.Error("FenceRejections = 0, want >= 1")
+	}
+
+	// Non-mutating calls (stats) still work on the deposed connection so
+	// operators can observe a fenced node.
+	if _, err := c.Stats(); err != nil {
+		t.Errorf("Stats on fenced session: %v", err)
+	}
+}
+
+// TestAutoFailover drives the automatic path end to end: a journaled
+// session runs on node A, node A dies without releasing its lease, and
+// node B's failover monitor — watching the shared lease table — steals
+// the expired lease, adopts the session from A's journal directory, and
+// serves the client's resume with every acknowledged kernel intact.
+func TestAutoFailover(t *testing.T) {
+	clock := sim.NewClock(1e-7)
+	table := failover.NewTable(2*time.Second, clock.Now)
+	dir := t.TempDir()
+
+	j1, rec1, err := ckptlog.Open(dir, ckptlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewNode("node-a", clock, []gpu.Spec{tinySpec()},
+		core.Config{CallOverhead: -1, Leases: table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RT.RecoverFromJournal(rec1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RT.AttachJournal(j1); err != nil {
+		t.Fatal(err)
+	}
+	// The target's own sessions start far above the source's so adopted
+	// IDs never collide.
+	b, err := NewNode("node-b", clock, []gpu.Spec{tinySpec()},
+		core.Config{CallOverhead: -1, Leases: table, SessionBase: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	c1 := connectFull(t, a)
+	if err := c1.RegisterFatBinary(failoverBinary()); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c1.Malloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.MemcpyHD(p, []byte{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	inc := api.LaunchCall{Kernel: "inc", PtrArgs: []api.DevPtr{p}, Scalars: []uint64{3}}
+	for i := 0; i < 2; i++ {
+		if err := c1.Launch(inc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c1.Launch(inc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	session, err := c1.SessionID()
+	if err != nil || session == 0 {
+		t.Fatalf("SessionID = %d, %v", session, err)
+	}
+
+	// Node A dies: the journal freezes (a SIGKILL drops the teardown
+	// release record) and the node stops renewing its lease. An
+	// in-process Close still runs the graceful teardown — which releases
+	// the lease — so re-plant node-a's ownership afterwards: that is
+	// exactly the table state a real SIGKILL leaves behind.
+	j1.Close()
+	c1.Close()
+	a.Close()
+	if _, err := table.Acquire(session, "node-a"); err != nil {
+		t.Fatal(err)
+	}
+
+	mon := b.StartFailover(table, func(int64) string { return dir })
+	defer mon.Stop()
+
+	// The lease expires in model time almost immediately at this clock
+	// scale; poll in wall time so the monitor goroutine gets scheduled.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if got := b.RT.OrphanSessions(); len(got) == 1 && got[0] == session {
+			break
+		}
+		if time.Now().After(deadline) {
+			promoted, failed, limited := mon.Counts()
+			t.Fatalf("monitor never adopted session %d (promoted %d, failed %d, limited %d, orphans %v)",
+				session, promoted, failed, limited, b.RT.OrphanSessions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if l, ok := table.Lookup(session); !ok || l.Owner != "node-b" {
+		t.Fatalf("lease after failover = %+v, %v; want owned by node-b", l, ok)
+	}
+	// Stop the monitor before serving the resumed client: at this clock
+	// scale every wall-microsecond gap between calls is model-minutes,
+	// so the idle lease perpetually re-expires and the monitor would
+	// keep re-stealing (and epoch-bumping) it mid-conversation.
+	mon.Stop()
+
+	// The client reconnects to the new owner and resumes: 2 committed +
+	// 3 replayed + 1 fresh increments.
+	c2 := connectFull(t, b)
+	defer c2.Close()
+	if err := c2.Resume(session); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.RegisterFatBinary(failoverBinary()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Launch(inc); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c2.MemcpyDH(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{16, 26, 36}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("data after failover = %v, want %v", out, want)
+		}
+	}
+}
+
+// TestFailoverStormLimiter: a node expiring many leases at once cannot
+// trigger unbounded concurrent promotions — the storm budget caps the
+// burst and the overflow is deferred instead of adopted all at once.
+// The budget here deliberately never refills, so the cap is exact and
+// deterministic regardless of how fast model time runs.
+func TestFailoverStormLimiter(t *testing.T) {
+	clock := sim.NewClock(1e-7)
+	table := failover.NewTable(time.Second, clock.Now)
+	// 3x the burst cap of expired sessions, owned by a dead node.
+	const sessions = 3 * DefaultMigrationStormCap
+	for i := int64(1); i <= sessions; i++ {
+		if _, err := table.Acquire(i, "dead-node"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock.Sleep(2 * time.Second) // expire them all
+
+	mon := failover.StartMonitor(failover.MonitorConfig{
+		Table:   table,
+		Owner:   "node-b",
+		Sleep:   clock.Sleep,
+		Limit:   resilience.NewBudget(DefaultMigrationStormCap, 0, clock.Now),
+		Promote: func(session int64) error { return nil },
+	})
+	defer mon.Stop()
+
+	// Wait (in wall time, so the monitor goroutine runs) for the burst
+	// to be capped: exactly the budget's worth of promotions, the rest
+	// limited.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		promoted, _, limited := mon.Counts()
+		if promoted == DefaultMigrationStormCap && limited > 0 {
+			break
+		}
+		if promoted > DefaultMigrationStormCap {
+			t.Fatalf("promoted %d sessions, want at most the burst cap %d", promoted, DefaultMigrationStormCap)
+		}
+		if time.Now().After(deadline) {
+			_, failed, _ := mon.Counts()
+			t.Fatalf("storm never capped: promoted %d, failed %d, limited %d", promoted, failed, limited)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

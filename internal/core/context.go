@@ -57,6 +57,17 @@ type Context struct {
 	// dynamically (§1). Written by the owner, read by swap/migration
 	// victim scans, hence atomic.
 	pinned atomic.Bool
+	// leaseEpoch is the session-lease epoch this node held when it
+	// acquired ownership; the write fence compares it against the lease
+	// table on every mutating call (fence.go). Atomic because resume()
+	// updates it under rt.mu while the fence reads it under ctx.mu.
+	leaseEpoch atomic.Uint64
+	// deposed marks a connection whose session migrated away: every
+	// later mutating call is fenced locally, without a table round trip.
+	deposed atomic.Bool
+	// migrate is the in-progress inbound transfer when this connection
+	// is serving a migration source (migrate.go, under mu).
+	migrate *migrateImport
 	// curSpan is the in-flight call's root span ID; phase children
 	// (queue-wait, bind, swap-in, launch, recovery) parent to it. Only
 	// the dispatcher goroutine reads or writes it.
@@ -111,6 +122,12 @@ func (rt *Runtime) newContext(label string) *Context {
 	}
 	rt.ctxs[ctx.id] = ctx
 	rt.mu.Unlock()
+	if err := rt.leaseAcquire(ctx); err != nil {
+		// Another node owns this ID live — a session-base misconfiguration.
+		// The context stays registered but every mutating call will be
+		// fenced (epoch 0 never matches a table entry).
+		rt.logf("ctx %d: lease acquisition failed: %v", ctx.id, err)
+	}
 	if j := rt.journal; j != nil {
 		j.ContextCreated(ctx.id)
 	}
@@ -205,11 +222,25 @@ func (rt *Runtime) teardown(ctx *Context) {
 	rt.mu.Lock()
 	delete(rt.ctxs, ctx.id)
 	rt.mu.Unlock()
+	if mi := ctx.migrate; mi != nil && mi.spool != nil {
+		// Keep the spool on disk: the pending record makes the dropped
+		// transfer resumable (same epoch) or cleanly aborted at boot.
+		mi.spool.Close()
+		ctx.migrate = nil
+	}
+	rt.leaseRelease(ctx)
 	rt.event(trace.KindExit, ctx.id, 0, -1, "")
 }
 
 // handle services one call; the caller holds ctx.mu.
 func (rt *Runtime) handle(ctx *Context, call api.Call) api.Reply {
+	// The write fence (DESIGN.md §13): a mutating call on a session this
+	// node no longer owns is rejected before it can touch any state.
+	if mutatingCall(call) {
+		if err := rt.fence(ctx); err != nil {
+			return api.Reply{Code: api.Code(err)}
+		}
+	}
 	switch c := call.(type) {
 	case api.RegisterFatBinaryCall:
 		// Registration functions are issued ahead of binding (§4.3);
@@ -375,6 +406,16 @@ func (rt *Runtime) handle(ctx *Context, call api.Call) api.Reply {
 
 	case api.CheckpointCall:
 		return api.Reply{Code: api.Code(rt.checkpoint(ctx))}
+
+	case api.MigrateCall:
+		return api.Reply{Code: api.Code(rt.migrateSession(ctx, c.Target))}
+
+	case api.MigrateFrameCall:
+		return rt.handleMigrateFrame(ctx, c.Frame)
+
+	case api.AdoptCall:
+		n, err := rt.AdoptJournalDir(c.Dir)
+		return api.Reply{Code: api.Code(err), Count: n}
 
 	case api.PingCall:
 		// Liveness probe (the breaker's half-open test): deliberately

@@ -132,6 +132,15 @@ func (rt *Runtime) launch(ctx *Context, call api.LaunchCall) error {
 		ctx.gpuTimeNS.Add(int64(kernelTime))
 		ctx.recordReplayResolved(call, ptes)
 
+		// Re-fence immediately before the commit: the kernel took model
+		// time, and ownership may have moved while it ran. A deposed
+		// owner's launch must not reach the journal — the new owner
+		// replays from the last durable commit, and a late write
+		// slipping in here would fork the session's history.
+		if err := rt.fence(ctx); err != nil {
+			return err
+		}
+
 		// Write-ahead commit: the launch is only acknowledged once the
 		// journal has it durably; a failure here surfaces to the client
 		// instead of a success it could lose to a crash.

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"fmt"
+
+	"gvrt/internal/api"
+	"gvrt/internal/ckptlog"
+	"gvrt/internal/failover"
+	"gvrt/internal/memmgr"
+	"gvrt/internal/trace"
+	"gvrt/internal/transport"
+)
+
+// This file implements journaled live context migration (DESIGN.md §13):
+// the source checkpoints and exports its session's sealed image, ships
+// it to a peer over the failover wire protocol — only the chunks the
+// target cannot satisfy from its dedup store or a prior partial transfer
+// cross the wire — and, once the target commits the import, deposes the
+// local copy so every later mutating call on the connection is fenced.
+// The target records the import as a pending operation, so a crash
+// mid-import is resumable (live retry reuses the spooled chunks) or
+// cleanly aborted (boot-time recovery resolves the record).
+
+// migrateImport is the target side's in-progress transfer state, held
+// on the serving connection's context between Hello and Commit.
+type migrateImport struct {
+	hello failover.Hello
+	spool *failover.Spool
+	// need maps every chunk of the manifest to its content ref, for
+	// verifying arriving chunk frames against what Hello promised.
+	need map[failover.ChunkID]failover.ChunkRef
+}
+
+// migrateSession is the source-side driver for a MigrateCall: it ships
+// this connection's session to the node at target. Caller holds ctx.mu;
+// the fence already passed for the enclosing call.
+func (rt *Runtime) migrateSession(ctx *Context, target string) (err error) {
+	rt.migStarted.Add(1)
+	start := rt.clock.Now()
+	sp := rt.beginSpan("migrate", ctx.id, ctx.curSpan)
+	var shipped int64
+	defer func() {
+		if err != nil {
+			rt.migAborted.Add(1)
+		}
+		sp.end(-1, fmt.Sprintf("to %s, %dB shipped", target, shipped), err)
+	}()
+
+	// Flush device-dirty state and journal the image, so the exported
+	// image is the durable checkpoint and the replay log is empty.
+	if err := rt.checkpoint(ctx); err != nil {
+		return err
+	}
+	img, err := rt.mm.ExportContext(ctx.id)
+	if err != nil {
+		return err
+	}
+	hello := failover.Hello{
+		Session: ctx.id,
+		Owner:   rt.cfg.node(),
+		Epoch:   ctx.leaseEpoch.Load(),
+		NextOff: img.NextOff,
+		Pending: append([]api.LaunchCall(nil), ctx.replay...),
+	}
+	for _, e := range img.Entries {
+		em := failover.EntryManifest{Meta: e, Chunks: failover.ManifestOf(e.Data)}
+		// The chunks carry the bytes; stripping Data keeps Hello small.
+		em.Meta.Data = nil
+		hello.TotalBytes += int64(len(e.Data))
+		hello.Entries = append(hello.Entries, em)
+	}
+
+	conn, err := transport.Dial(target)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	var seq uint64
+	send := func(f failover.Frame) (failover.Frame, error) {
+		f.Session = ctx.id
+		f.Seq = seq
+		seq++
+		return rt.sendMigFrame(conn, f)
+	}
+
+	helloPayload, err := failover.EncodePayload(hello)
+	if err != nil {
+		return err
+	}
+	reply, err := send(failover.Frame{Type: failover.FrameHello, Payload: helloPayload})
+	if err != nil {
+		return err
+	}
+	if reply.Type != failover.FrameNeed {
+		return fmt.Errorf("core: migrate: unexpected %d reply to hello: %w", reply.Type, api.ErrInvalidValue)
+	}
+	var need failover.Need
+	if err := failover.DecodePayload(reply.Payload, &need); err != nil {
+		return err
+	}
+
+	// Ship only the chunks the target asked for (resumable offsets plus
+	// dedup reuse made the rest unnecessary).
+	for _, id := range need.Chunks {
+		if int(id.Entry) < 0 || int(id.Entry) >= len(img.Entries) {
+			return fmt.Errorf("core: migrate: target needs unknown entry %d: %w", id.Entry, api.ErrInvalidValue)
+		}
+		data := failover.ChunkAt(img.Entries[id.Entry].Data, int(id.Index))
+		if len(data) == 0 {
+			return fmt.Errorf("core: migrate: target needs unknown chunk %d.%d: %w", id.Entry, id.Index, api.ErrInvalidValue)
+		}
+		payload, err := failover.EncodePayload(failover.Chunk{ID: id, Data: data})
+		if err != nil {
+			return err
+		}
+		if _, err := send(failover.Frame{Type: failover.FrameChunk, Payload: payload}); err != nil {
+			return err
+		}
+		shipped += int64(len(data))
+	}
+
+	reply, err = send(failover.Frame{Type: failover.FrameCommit})
+	if err != nil {
+		return err
+	}
+	var res failover.Result
+	if reply.Type != failover.FrameResult || failover.DecodePayload(reply.Payload, &res) != nil {
+		return fmt.Errorf("core: migrate: malformed commit reply: %w", api.ErrInvalidValue)
+	}
+	if res.Code != 0 {
+		return fmt.Errorf("core: migrate: target refused import: %s: %w", res.Detail, api.Error(res.Code))
+	}
+
+	// Committed: ownership moves. Release the lease first (the target or
+	// the resuming client re-acquires it fresh), then depose this
+	// connection so no later mutating call can touch the moved state.
+	if t := rt.cfg.Leases; t != nil {
+		t.Release(ctx.id, rt.cfg.node())
+	}
+	ctx.deposed.Store(true)
+	if j := rt.journal; j != nil {
+		// The session's durable home is the target's journal now.
+		j.ContextReleased(ctx.id)
+	}
+	rt.migCompleted.Add(1)
+	rt.timings.MigrationDur.Observe(int64(rt.clock.Now() - start))
+	rt.timings.MigrationBytes.Observe(shipped)
+	rt.event(trace.KindCrossMigration, ctx.id, 0, -1,
+		fmt.Sprintf("out to %s: %d/%d bytes shipped", target, shipped, hello.TotalBytes))
+	rt.logf("ctx %d migrated to %s (%d of %d bytes shipped, %d chunks reused)",
+		ctx.id, target, shipped, hello.TotalBytes, len(need.Chunks))
+	return nil
+}
+
+// sendMigFrame ships one wire frame to the target and decodes the
+// response frame from the reply. The transfer fault hook fires per
+// frame: an injected crash kills the source mid-stream, an injected
+// error or drop models a partition.
+func (rt *Runtime) sendMigFrame(conn transport.Conn, f failover.Frame) (failover.Frame, error) {
+	if h := rt.migXferHook; h != nil {
+		dec := h.Check()
+		if dec.Crash {
+			ckptlog.Die()
+		}
+		if dec.Delay > 0 {
+			rt.clock.Sleep(dec.Delay)
+		}
+		if dec.Err != nil {
+			return failover.Frame{}, dec.Err
+		}
+		if dec.Drop {
+			return failover.Frame{}, api.ErrConnectionClosed
+		}
+	}
+	reply, err := conn.Call(api.MigrateFrameCall{Frame: failover.EncodeFrame(nil, f)})
+	if err != nil {
+		return failover.Frame{}, err
+	}
+	if err := reply.Code.Err(); err != nil {
+		return failover.Frame{}, err
+	}
+	rf, _, res := failover.DecodeFrame(reply.Data)
+	if res != failover.DecodeOK {
+		return failover.Frame{}, fmt.Errorf("core: migrate: bad response frame: %w", api.ErrInvalidValue)
+	}
+	return rf, nil
+}
+
+// handleMigrateFrame is the target side: it services one wire frame
+// arriving on a serving connection. Caller holds ctx.mu (the serving
+// connection's own context — not the session being imported).
+func (rt *Runtime) handleMigrateFrame(ctx *Context, raw []byte) api.Reply {
+	if h := rt.migImportHook; h != nil {
+		dec := h.Check()
+		if dec.Crash {
+			ckptlog.Die()
+		}
+		if dec.Delay > 0 {
+			rt.clock.Sleep(dec.Delay)
+		}
+		if dec.Corrupt && len(raw) > 0 {
+			raw = append([]byte(nil), raw...)
+			raw[len(raw)/2] ^= 0xff
+		}
+		if dec.Err != nil {
+			return api.Reply{Code: api.Code(dec.Err)}
+		}
+	}
+	f, _, res := failover.DecodeFrame(raw)
+	if res != failover.DecodeOK {
+		// Torn or corrupt frame: reject before any byte can reach an
+		// imported image. The source retries or aborts; the spool keeps
+		// every chunk that arrived intact.
+		return api.Reply{Code: api.ErrInvalidValue}
+	}
+	switch f.Type {
+	case failover.FrameHello:
+		return rt.migrateHello(ctx, f)
+	case failover.FrameChunk:
+		return rt.migrateChunk(ctx, f)
+	case failover.FrameCommit:
+		return rt.migrateCommit(ctx, f)
+	default:
+		return api.Reply{Code: api.ErrInvalidValue}
+	}
+}
+
+func frameReply(session int64, t failover.FrameType, payload any) api.Reply {
+	p, err := failover.EncodePayload(payload)
+	if err != nil {
+		return api.Reply{Code: api.Code(err)}
+	}
+	return api.Reply{Data: failover.EncodeFrame(nil, failover.Frame{Type: t, Session: session, Payload: p})}
+}
+
+func (rt *Runtime) migrateHello(ctx *Context, f failover.Frame) api.Reply {
+	var hello failover.Hello
+	if err := failover.DecodePayload(f.Payload, &hello); err != nil {
+		return api.Reply{Code: api.ErrInvalidValue}
+	}
+	if rt.hasSession(hello.Session) {
+		return api.Reply{Code: api.ErrSessionClaimed}
+	}
+	if mi := ctx.migrate; mi != nil && mi.spool != nil {
+		// A fresh Hello supersedes any half-done transfer on this
+		// connection; keep its spool on disk for a same-epoch resume.
+		mi.spool.Close()
+	}
+	total := 0
+	for _, em := range hello.Entries {
+		total += len(em.Chunks)
+	}
+	spool, err := failover.OpenSpool(rt.cfg.MigrateDir, failover.PendingRecord{
+		Session: hello.Session,
+		Owner:   hello.Owner,
+		Epoch:   hello.Epoch,
+		Total:   total,
+	})
+	if err != nil {
+		return api.Reply{Code: api.Code(err)}
+	}
+	mi := &migrateImport{
+		hello: hello,
+		spool: spool,
+		need:  make(map[failover.ChunkID]failover.ChunkRef, total),
+	}
+	var need failover.Need
+	reused := 0
+	for i, em := range hello.Entries {
+		for k, ref := range em.Chunks {
+			id := failover.ChunkID{Entry: int32(i), Index: int32(k)}
+			mi.need[id] = ref
+			if spool.Has(id) {
+				// Spooled by a previous attempt at this epoch — the
+				// resumable offset: don't ask for it again.
+				continue
+			}
+			if data, ok := rt.mm.DedupLookup(ref.Hash, int(ref.Len), ref.Sum); ok {
+				// Another tenant's identical chunk already lives here;
+				// no transfer needed.
+				spool.PutLocal(id, data)
+				reused++
+				continue
+			}
+			need.Chunks = append(need.Chunks, id)
+		}
+	}
+	ctx.migrate = mi
+	rt.logf("import of session %d from %s: need %d of %d chunks (%d spooled, %d dedup-reused)",
+		hello.Session, hello.Owner, len(need.Chunks), total, total-len(need.Chunks)-reused, reused)
+	return frameReply(hello.Session, failover.FrameNeed, need)
+}
+
+func (rt *Runtime) migrateChunk(ctx *Context, f failover.Frame) api.Reply {
+	mi := ctx.migrate
+	if mi == nil || f.Session != mi.hello.Session {
+		return api.Reply{Code: api.ErrInvalidValue}
+	}
+	var c failover.Chunk
+	if err := failover.DecodePayload(f.Payload, &c); err != nil {
+		return api.Reply{Code: api.ErrInvalidValue}
+	}
+	ref, ok := mi.need[c.ID]
+	if !ok || !failover.VerifyChunk(ref, c.Data) {
+		// Unannounced chunk, or bytes that don't match the manifest's
+		// hash/length/CRC — poisoned; refuse it.
+		return api.Reply{Code: api.ErrInvalidValue}
+	}
+	if err := mi.spool.Put(c.ID, c.Data); err != nil {
+		return api.Reply{Code: api.Code(err)}
+	}
+	return frameReply(f.Session, failover.FrameResult, failover.Result{})
+}
+
+func (rt *Runtime) migrateCommit(ctx *Context, f failover.Frame) api.Reply {
+	mi := ctx.migrate
+	if mi == nil || f.Session != mi.hello.Session {
+		return api.Reply{Code: api.ErrInvalidValue}
+	}
+	refuse := func(err error, detail string) api.Reply {
+		rt.migAborted.Add(1)
+		rt.logf("import of session %d refused: %s: %v", mi.hello.Session, detail, err)
+		return frameReply(f.Session, failover.FrameResult, failover.Result{
+			Code:   int32(api.Code(err)),
+			Detail: detail,
+		})
+	}
+	img := &memmgr.ContextImage{CtxID: mi.hello.Session, NextOff: mi.hello.NextOff}
+	for i, em := range mi.hello.Entries {
+		e := em.Meta
+		if e.HasData {
+			var size int
+			for _, ref := range em.Chunks {
+				size += int(ref.Len)
+			}
+			data := make([]byte, 0, size)
+			for k := range em.Chunks {
+				b, ok := mi.spool.Get(failover.ChunkID{Entry: int32(i), Index: int32(k)})
+				if !ok {
+					return refuse(api.ErrInvalidValue, fmt.Sprintf("chunk %d.%d never arrived", i, k))
+				}
+				data = append(data, b...)
+			}
+			e.Data = data
+		}
+		img.Entries = append(img.Entries, e)
+	}
+	if err := rt.adoptImage(img, mi.hello.Pending, "migrated in from "+mi.hello.Owner); err != nil {
+		return refuse(err, "import failed")
+	}
+	mi.spool.Resolve()
+	ctx.migrate = nil
+	return frameReply(f.Session, failover.FrameResult, failover.Result{})
+}
+
+// adoptImage installs an imported context image as an orphan session a
+// reconnecting client can Resume: page table and swap copies into the
+// memory manager, pending kernels set aside for replay, the image
+// journaled so it survives this node too, and — when the lease table
+// allows — ownership taken for this node.
+func (rt *Runtime) adoptImage(img *memmgr.ContextImage, pending []api.LaunchCall, detail string) error {
+	if rt.hasSession(img.CtxID) {
+		return api.ErrSessionClaimed
+	}
+	if err := rt.mm.ImportContext(img); err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	if rt.orphans == nil {
+		rt.orphans = make(map[int64]bool)
+	}
+	rt.orphans[img.CtxID] = true
+	if len(pending) > 0 {
+		if rt.orphanReplay == nil {
+			rt.orphanReplay = make(map[int64][]api.LaunchCall)
+		}
+		rt.orphanReplay[img.CtxID] = append([]api.LaunchCall(nil), pending...)
+	}
+	if img.CtxID > rt.nextCtx {
+		rt.nextCtx = img.CtxID
+	}
+	rt.mu.Unlock()
+	if j := rt.journal; j != nil {
+		if err := j.SnapshotContext(img, pending); err != nil {
+			return err
+		}
+	}
+	if t := rt.cfg.Leases; t != nil {
+		// Best effort: a failover steal already moved ownership here and
+		// this renews it; after a cooperative migration the source
+		// released and this takes it fresh. A still-live source lease
+		// (source crashed after commit, before release) is left alone —
+		// the resuming client's Acquire settles ownership after expiry.
+		_, _ = t.Acquire(img.CtxID, rt.cfg.node())
+	}
+	rt.event(trace.KindCrossMigration, img.CtxID, 0, -1, detail)
+	rt.logf("adopted session %d (%d entries, %d pending kernels): %s",
+		img.CtxID, len(img.Entries), len(pending), detail)
+	return nil
+}
+
+// AdoptJournalDir recovers every session committed in a dead peer's
+// journal directory into this runtime — the failover promotion step. The
+// caller must have fenced the old owner first (the monitor's Steal, or
+// lease expiry). Sessions this node already knows are skipped, so a
+// promotion racing a completed migration is idempotent.
+func (rt *Runtime) AdoptJournalDir(dir string) (int, error) {
+	j, rec, err := ckptlog.Open(dir, ckptlog.Options{Logf: rt.cfg.Logf})
+	if err != nil {
+		return 0, err
+	}
+	defer j.Close()
+	n := 0
+	for _, img := range rec.Images {
+		if rt.hasSession(img.CtxID) {
+			continue
+		}
+		if err := rt.adoptImage(img, rec.Pending[img.CtxID], "promoted from journal "+dir); err != nil {
+			return n, err
+		}
+		n++
+	}
+	rt.mu.Lock()
+	// Never re-issue a context ID the dead peer's journal has seen.
+	if rec.MaxCtxID > rt.nextCtx {
+		rt.nextCtx = rec.MaxCtxID
+	}
+	rt.mu.Unlock()
+	return n, nil
+}
+
+// hasSession reports whether this runtime already knows the session —
+// live, orphaned, or claimed.
+func (rt *Runtime) hasSession(id int64) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, ok := rt.ctxs[id]; ok {
+		return true
+	}
+	return rt.orphans[id] || rt.claimed[id]
+}

@@ -138,6 +138,17 @@ func (rt *Runtime) resume(ctx *Context, id int64) api.Error {
 		rt.mu.Unlock()
 		return api.ErrInvalidValue
 	}
+	if t := rt.cfg.Leases; t != nil {
+		// Claiming the session means taking its lease; failure (a live
+		// owner elsewhere) leaves the orphan unclaimed for a later, valid
+		// claimant.
+		l, lerr := t.Acquire(id, rt.cfg.node())
+		if lerr != nil {
+			rt.mu.Unlock()
+			return api.ErrFenced
+		}
+		ctx.leaseEpoch.Store(l.Epoch)
+	}
 	delete(rt.orphans, id)
 	if rt.claimed == nil {
 		rt.claimed = make(map[int64]bool)
@@ -163,6 +174,10 @@ func (rt *Runtime) resume(ctx *Context, id int64) api.Error {
 		// The empty pre-resume context will never be torn down under its
 		// old ID; retire it from the journal.
 		j.ContextReleased(oldID)
+	}
+	if t := rt.cfg.Leases; t != nil {
+		// Likewise retire the pre-resume context's own lease.
+		t.Release(oldID, rt.cfg.node())
 	}
 	rt.logf("ctx resumed session %d (%d pending kernels)", id, len(pending))
 	return api.Success

@@ -20,6 +20,7 @@ import (
 
 	"gvrt/internal/ckptlog"
 	"gvrt/internal/cudart"
+	"gvrt/internal/failover"
 	"gvrt/internal/faultinject"
 	"gvrt/internal/gpu"
 	"gvrt/internal/memmgr"
@@ -128,6 +129,31 @@ type Config struct {
 	// injection points. Nil (the default) leaves every hook nil, so the
 	// hot path pays one nil check per site.
 	Faults *faultinject.Plane
+	// Leases, when set, arms lease-fenced session ownership (DESIGN.md
+	// §13): every mutating call checks this node's (owner, epoch) pair
+	// against the shared table and is rejected with ErrFenced once
+	// ownership moved. Nil disables fencing (single-node operation).
+	Leases *failover.Table
+	// NodeName identifies this node in the lease table and migration
+	// protocol; "" means "local".
+	NodeName string
+	// MigrateDir is where the migration target keeps pending-operation
+	// records and chunk spools (normally the journal directory). ""
+	// keeps them in memory: live-transfer resume still works, but a
+	// target crash mid-import is not recorded on disk.
+	MigrateDir string
+	// SessionBase offsets locally-created context IDs. A failover
+	// target sets it above the ID range its peers issue, so adopted
+	// sessions can keep their original IDs without colliding with the
+	// target's own connections.
+	SessionBase int64
+}
+
+func (c *Config) node() string {
+	if c.NodeName == "" {
+		return "local"
+	}
+	return c.NodeName
 }
 
 func (c *Config) vgpus() int {
@@ -315,8 +341,15 @@ type Metrics struct {
 	PrefetchIssued  int64
 	PrefetchHits    int64
 	PrefetchSkipped int64
-	Memory          memmgr.Stats
-	Devices         []DeviceUtilization
+	// Cross-node failover-plane counters (distinct from Migrations,
+	// which counts intra-node device rebinds).
+	MigrationsStarted   int64
+	MigrationsCompleted int64
+	MigrationsAborted   int64
+	FenceRejections     int64
+	LeaseRenewals       int64
+	Memory              memmgr.Stats
+	Devices             []DeviceUtilization
 }
 
 // Runtime is the gvrt node-level runtime daemon.
@@ -330,6 +363,12 @@ type Runtime struct {
 	// dispatchHook is the fault plane's scheduler-stall site; nil
 	// without a plan.
 	dispatchHook *faultinject.Hook
+	// leaseHook / migXferHook / migImportHook are the failover plane's
+	// injection sites: the lease-expiry race, the mid-transfer
+	// partition, and the target crash during import.
+	leaseHook     *faultinject.Hook
+	migXferHook   *faultinject.Hook
+	migImportHook *faultinject.Hook
 
 	// journal, when attached, shadows the durable checkpoint state on
 	// disk (see journal.go). Set once at boot, read without rt.mu.
@@ -391,6 +430,12 @@ type Runtime struct {
 	prefetchIssued  atomic.Int64
 	prefetchHits    atomic.Int64
 	prefetchSkipped atomic.Int64
+
+	migStarted      atomic.Int64
+	migCompleted    atomic.Int64
+	migAborted      atomic.Int64
+	fenceRejections atomic.Int64
+	leaseRenewals   atomic.Int64
 }
 
 // New builds a runtime over a CUDA runtime instance, creating the
@@ -425,6 +470,17 @@ func New(crt *cudart.Runtime, cfg Config) (*Runtime, error) {
 		Prefetch:   &rt.timings.Prefetch,
 	})
 	rt.dispatchHook = cfg.Faults.Hook(faultinject.PointDispatch, "")
+	rt.leaseHook = cfg.Faults.Hook(faultinject.PointLeaseCheck, "")
+	rt.migXferHook = cfg.Faults.Hook(faultinject.PointMigrateTransfer, "")
+	rt.migImportHook = cfg.Faults.Hook(faultinject.PointMigrateImport, "")
+	if cfg.SessionBase > 0 {
+		rt.nextCtx = cfg.SessionBase
+	}
+	if n := failover.ResolvePending(cfg.MigrateDir, cfg.Logf); n > 0 {
+		// A pending record at boot is an import the crash interrupted —
+		// it never committed, so aborting it is the clean outcome.
+		rt.migAborted.Add(int64(n))
+	}
 	rt.cond = sync.NewCond(&rt.mu)
 	for i := 0; i < crt.DeviceCount(); i++ {
 		if err := rt.addDeviceState(i); err != nil {
@@ -521,6 +577,10 @@ func (rt *Runtime) deviceList() []*deviceState {
 // Clock returns the runtime's model clock.
 func (rt *Runtime) Clock() *sim.Clock { return rt.clock }
 
+// NodeName reports the name this runtime uses in the lease table and
+// migration protocol ("local" when unconfigured).
+func (rt *Runtime) NodeName() string { return rt.cfg.node() }
+
 // MemoryManager exposes the memory manager (read-mostly; used by tests
 // and the experiment harness).
 func (rt *Runtime) MemoryManager() *memmgr.Manager { return rt.mm }
@@ -564,7 +624,14 @@ func (rt *Runtime) Metrics() Metrics {
 		PrefetchIssued:  rt.prefetchIssued.Load(),
 		PrefetchHits:    rt.prefetchHits.Load(),
 		PrefetchSkipped: rt.prefetchSkipped.Load(),
-		Memory:          rt.mm.Stats(),
+
+		MigrationsStarted:   rt.migStarted.Load(),
+		MigrationsCompleted: rt.migCompleted.Load(),
+		MigrationsAborted:   rt.migAborted.Load(),
+		FenceRejections:     rt.fenceRejections.Load(),
+		LeaseRenewals:       rt.leaseRenewals.Load(),
+
+		Memory: rt.mm.Stats(),
 	}
 }
 
@@ -590,7 +657,13 @@ func (rt *Runtime) wireStats() api.RuntimeStats {
 		DedupHits:       m.Memory.DedupHits,
 		DedupSavedBytes: m.Memory.DedupSavedBytes,
 		CowBreaks:       m.Memory.CowBreaks,
-		Migrations:     m.Migrations,
+		Migrations:          m.Migrations,
+		MigrationsStarted:   m.MigrationsStarted,
+		MigrationsCompleted: m.MigrationsCompleted,
+		MigrationsAborted:   m.MigrationsAborted,
+		FenceRejections:     m.FenceRejections,
+		LeaseRenewals:       m.LeaseRenewals,
+
 		Recoveries:     m.Recoveries,
 		Replays:        m.Replays,
 		DeviceFailures: m.DeviceFailures,
@@ -664,6 +737,11 @@ func (rt *Runtime) NoteBreakerHeal(link string) {
 func (rt *Runtime) NoteRetrySpent() { rt.retriesSpent.Add(1) }
 
 // logf emits a debug event when configured.
+// Logf forwards to the runtime's configured logger (no-op when
+// unset), so sibling subsystems like the failover monitor can share
+// the daemon's log stream.
+func (rt *Runtime) Logf(format string, args ...any) { rt.logf(format, args...) }
+
 func (rt *Runtime) logf(format string, args ...any) {
 	if rt.cfg.Logf != nil {
 		rt.cfg.Logf(format, args...)

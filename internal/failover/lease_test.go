@@ -1,0 +1,178 @@
+package failover
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gvrt/internal/api"
+)
+
+// fakeClock is a hand-advanced model clock for deterministic expiry.
+type fakeClock struct{ t time.Duration }
+
+func (c *fakeClock) now() time.Duration      { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t += d }
+
+func newTestTable(ttl time.Duration) (*Table, *fakeClock) {
+	c := &fakeClock{}
+	return NewTable(ttl, c.now), c
+}
+
+func TestLeaseLifecycle(t *testing.T) {
+	tbl, clk := newTestTable(10 * time.Second)
+
+	// Fresh acquire starts the epoch chain at 1.
+	l, err := tbl.Acquire(1, "a")
+	if err != nil || l.Epoch != 1 || l.Owner != "a" {
+		t.Fatalf("fresh acquire = %+v, %v", l, err)
+	}
+	// Same-owner re-acquire renews at the same epoch.
+	clk.advance(5 * time.Second)
+	l2, err := tbl.Acquire(1, "a")
+	if err != nil || l2.Epoch != 1 || l2.Expires <= l.Expires {
+		t.Fatalf("renewal = %+v, %v (prior %+v)", l2, err, l)
+	}
+	// A live lease fences other acquirers.
+	if _, err := tbl.Acquire(1, "b"); !errors.Is(err, api.ErrFenced) {
+		t.Fatalf("foreign acquire of live lease err = %v, want ErrFenced", err)
+	}
+	// Check passes for the holder, fails for anyone else.
+	if _, err := tbl.Check(1, "a", 1); err != nil {
+		t.Fatalf("holder check: %v", err)
+	}
+	if _, err := tbl.Check(1, "b", 1); !errors.Is(err, api.ErrFenced) {
+		t.Fatalf("foreign check err = %v, want ErrFenced", err)
+	}
+	if _, err := tbl.Check(1, "a", 2); !errors.Is(err, api.ErrFenced) {
+		t.Fatalf("wrong-epoch check err = %v, want ErrFenced", err)
+	}
+	// Orderly release deletes the record outright.
+	tbl.Release(1, "a")
+	if _, ok := tbl.Lookup(1); ok {
+		t.Fatal("lease survived release")
+	}
+	if got := tbl.Expired(); len(got) != 0 {
+		t.Fatalf("released lease listed as expired: %v", got)
+	}
+}
+
+func TestLeaseCheckRenewsPastHalfTTL(t *testing.T) {
+	tbl, clk := newTestTable(10 * time.Second)
+	if _, err := tbl.Acquire(1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	// Within the first half of the TTL: no renewal.
+	clk.advance(2 * time.Second)
+	if renewed, err := tbl.Check(1, "a", 1); err != nil || renewed {
+		t.Fatalf("early check = renewed %v, err %v; want no renewal", renewed, err)
+	}
+	// Past half TTL: the fence piggybacks a renewal.
+	clk.advance(4 * time.Second)
+	renewed, err := tbl.Check(1, "a", 1)
+	if err != nil || !renewed {
+		t.Fatalf("late check = renewed %v, err %v; want renewal", renewed, err)
+	}
+	l, _ := tbl.Lookup(1)
+	if l.Expires != clk.now()+10*time.Second {
+		t.Fatalf("renewed expiry = %v, want %v", l.Expires, clk.now()+10*time.Second)
+	}
+}
+
+func TestLeaseStealOnlyAfterExpiry(t *testing.T) {
+	tbl, clk := newTestTable(10 * time.Second)
+	if _, err := tbl.Acquire(1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	// Live lease: steal refused, unknown session rejected.
+	if _, err := tbl.Steal(1, "b"); !errors.Is(err, api.ErrFenced) {
+		t.Fatalf("steal of live lease err = %v, want ErrFenced", err)
+	}
+	if _, err := tbl.Steal(99, "b"); !errors.Is(err, api.ErrInvalidValue) {
+		t.Fatalf("steal of unknown session err = %v, want ErrInvalidValue", err)
+	}
+
+	clk.advance(11 * time.Second)
+	if got := tbl.Expired(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Expired = %v, want [1]", got)
+	}
+	l, err := tbl.Steal(1, "b")
+	if err != nil || l.Owner != "b" || l.Epoch != 2 {
+		t.Fatalf("steal after expiry = %+v, %v", l, err)
+	}
+	// The deposed owner's stale (owner, epoch) fails the fence — even
+	// though its lease "merely" expired before the steal.
+	if _, err := tbl.Check(1, "a", 1); !errors.Is(err, api.ErrFenced) {
+		t.Fatalf("deposed owner check err = %v, want ErrFenced", err)
+	}
+	// An expired-but-unstolen lease can be renewed by its owner: the
+	// renew-versus-steal race is settled by table-lock order alone.
+	clk.advance(11 * time.Second)
+	if _, err := tbl.Acquire(1, "b"); err != nil {
+		t.Fatalf("owner renewal of expired lease: %v", err)
+	}
+	if _, err := tbl.Steal(1, "c"); !errors.Is(err, api.ErrFenced) {
+		t.Fatalf("steal after owner renewed err = %v, want ErrFenced", err)
+	}
+}
+
+func TestLeaseStealAndStealBackStillFences(t *testing.T) {
+	tbl, clk := newTestTable(time.Second)
+	if _, err := tbl.Acquire(1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(2 * time.Second)
+	if _, err := tbl.Steal(1, "b"); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(2 * time.Second)
+	l, err := tbl.Steal(1, "a") // back to the original node…
+	if err != nil || l.Epoch != 3 {
+		t.Fatalf("steal-back = %+v, %v", l, err)
+	}
+	// …but its old epoch is still fenced: only the new epoch passes.
+	if _, err := tbl.Check(1, "a", 1); !errors.Is(err, api.ErrFenced) {
+		t.Fatalf("old-epoch check after steal-back err = %v, want ErrFenced", err)
+	}
+	if _, err := tbl.Check(1, "a", 3); err != nil {
+		t.Fatalf("new-epoch check: %v", err)
+	}
+}
+
+func TestLeaseRevoke(t *testing.T) {
+	tbl, _ := newTestTable(time.Hour)
+	if _, err := tbl.Acquire(1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Revoke(1)
+	// The phantom steal fences the holder immediately, without expiry.
+	if _, err := tbl.Check(1, "a", 1); !errors.Is(err, api.ErrFenced) {
+		t.Fatalf("check after revoke err = %v, want ErrFenced", err)
+	}
+	// A revoked lease is not the monitor's business (no owner to fail
+	// over from)…
+	if got := tbl.Expired(); len(got) != 0 {
+		t.Fatalf("revoked lease listed as expired: %v", got)
+	}
+	// …but anyone may acquire it, at a bumped epoch.
+	l, err := tbl.Acquire(1, "b")
+	if err != nil || l.Epoch != 3 {
+		t.Fatalf("acquire after revoke = %+v, %v (want epoch 3)", l, err)
+	}
+	// Revoking an unknown session is a no-op.
+	tbl.Revoke(42)
+	if _, ok := tbl.Lookup(42); ok {
+		t.Fatal("revoke materialised a lease")
+	}
+}
+
+func TestLeaseReleaseByNonOwnerIgnored(t *testing.T) {
+	tbl, _ := newTestTable(time.Hour)
+	if _, err := tbl.Acquire(1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Release(1, "b") // stale release from a deposed node
+	if l, ok := tbl.Lookup(1); !ok || l.Owner != "a" {
+		t.Fatalf("lease after foreign release = %+v, %v; want intact", l, ok)
+	}
+}

@@ -1,0 +1,203 @@
+package failover
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gvrt/internal/resilience"
+)
+
+// monitorHarness drives the scan loop synchronously: Sleep hands
+// control back to the test between scans, and advancing the fake clock
+// controls expiry exactly.
+type monitorHarness struct {
+	tbl  *Table
+	clk  *fakeClock
+	mu   sync.Mutex
+	outs map[int64][]error
+}
+
+func (h *monitorHarness) onPromote(session int64, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.outs[session] = append(h.outs[session], err)
+}
+
+func (h *monitorHarness) attempts(session int64) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.outs[session])
+}
+
+// waitCounts polls (in wall time) until the predicate holds or times out.
+func waitCounts(t *testing.T, m *Monitor, pred func(promoted, failed, limited int64) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if pred(m.Counts()) {
+			return
+		}
+		if time.Now().After(deadline) {
+			p, f, l := m.Counts()
+			t.Fatalf("monitor never reached expected counts (promoted %d, failed %d, limited %d)", p, f, l)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMonitorPromotesExpiredLease(t *testing.T) {
+	tbl, clk := newTestTable(time.Second)
+	if _, err := tbl.Acquire(1, "dead"); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(2 * time.Second)
+
+	h := &monitorHarness{tbl: tbl, clk: clk, outs: make(map[int64][]error)}
+	m := StartMonitor(MonitorConfig{
+		Table:     tbl,
+		Owner:     "alive",
+		Sleep:     func(time.Duration) {},
+		Promote:   func(session int64) error { return nil },
+		OnPromote: h.onPromote,
+	})
+	defer m.Stop()
+
+	waitCounts(t, m, func(p, f, l int64) bool { return p >= 1 })
+	if l, ok := tbl.Lookup(1); !ok || l.Owner != "alive" || l.Epoch != 2 {
+		t.Fatalf("lease after promotion = %+v, %v; want alive@2", l, ok)
+	}
+	if h.attempts(1) == 0 {
+		t.Fatal("OnPromote never observed the promotion")
+	}
+}
+
+func TestMonitorSkipsRenewedLease(t *testing.T) {
+	tbl, clk := newTestTable(time.Second)
+	if _, err := tbl.Acquire(1, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(2 * time.Second)
+
+	// The owner renews between the monitor's Expired() and Steal(): model
+	// the race by renewing from inside Sleep, which runs between scans.
+	renewOnce := sync.Once{}
+	promoted := make(chan int64, 8)
+	m := StartMonitor(MonitorConfig{
+		Table: tbl,
+		Owner: "alive",
+		Sleep: func(time.Duration) {
+			renewOnce.Do(func() {
+				if _, err := tbl.Acquire(1, "slow"); err != nil {
+					t.Errorf("owner renewal: %v", err)
+				}
+			})
+		},
+		Promote: func(session int64) error { promoted <- session; return nil },
+	})
+	defer m.Stop()
+
+	// Give the monitor real scans; the renewed lease must never promote.
+	time.Sleep(50 * time.Millisecond)
+	p, f, _ := m.Counts()
+	if p != 0 || f != 0 {
+		t.Fatalf("renewed lease was promoted (promoted %d, failed %d)", p, f)
+	}
+	select {
+	case s := <-promoted:
+		t.Fatalf("Promote called for renewed session %d", s)
+	default:
+	}
+	if l, _ := tbl.Lookup(1); l.Owner != "slow" || l.Epoch != 1 {
+		t.Fatalf("lease = %+v, want slow@1 untouched", l)
+	}
+}
+
+func TestMonitorRetriesFailedPromotionWithBackoff(t *testing.T) {
+	tbl, clk := newTestTable(time.Millisecond)
+	if _, err := tbl.Acquire(1, "dead"); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(time.Hour) // expired, and every re-steal expires instantly too
+
+	var mu sync.Mutex
+	fails := 2
+	var backoffs []time.Duration
+	m := StartMonitor(MonitorConfig{
+		Table: tbl,
+		Owner: "alive",
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			if d > 0 {
+				backoffs = append(backoffs, d)
+			}
+			mu.Unlock()
+			clk.advance(time.Hour)
+		},
+		Interval: 1, // every Sleep advances far past the tiny TTL
+		Promote: func(session int64) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if fails > 0 {
+				fails--
+				return errors.New("target import failed")
+			}
+			return nil
+		},
+		Backoff: resilience.NewBackoff(10*time.Millisecond, 100*time.Millisecond, nil),
+	})
+	defer m.Stop()
+
+	waitCounts(t, m, func(p, f, l int64) bool { return p >= 1 && f == 2 })
+	mu.Lock()
+	defer mu.Unlock()
+	// Two failures → at least two backoff sleeps beyond the scan interval.
+	if len(backoffs) < 2 {
+		t.Fatalf("backoff slept %d times (%v), want >= 2", len(backoffs), backoffs)
+	}
+}
+
+func TestMonitorStormLimiter(t *testing.T) {
+	tbl, clk := newTestTable(time.Second)
+	const sessions = 10
+	for i := int64(1); i <= sessions; i++ {
+		if _, err := tbl.Acquire(i, "dead"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.advance(time.Minute)
+
+	const cap = 3
+	m := StartMonitor(MonitorConfig{
+		Table:   tbl,
+		Owner:   "alive",
+		Sleep:   func(time.Duration) {},
+		Limit:   resilience.NewBudget(cap, 0, clk.now), // never refills
+		Promote: func(session int64) error { return nil },
+	})
+	defer m.Stop()
+
+	waitCounts(t, m, func(p, f, l int64) bool { return p == cap && l > 0 })
+	p, _, _ := m.Counts()
+	if p != cap {
+		t.Fatalf("promoted %d, want exactly the burst cap %d", p, cap)
+	}
+}
+
+func TestMonitorStopTerminates(t *testing.T) {
+	tbl, _ := newTestTable(time.Second)
+	m := StartMonitor(MonitorConfig{
+		Table:   tbl,
+		Owner:   "alive",
+		Sleep:   func(time.Duration) { time.Sleep(time.Millisecond) },
+		Promote: func(int64) error { return nil },
+	})
+	done := make(chan struct{})
+	go func() { m.Stop(); m.Stop(); close(done) }() // Stop is idempotent
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop never returned")
+	}
+}

@@ -1,0 +1,242 @@
+package failover
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// This file implements the target side's crash safety: an import in
+// progress is recorded as a pending-operation sidecar (heketi's
+// pending-op pattern) next to a spool of the chunk frames received so
+// far. The records buy two properties:
+//
+//   - Resumable offsets: a transfer that broke mid-stream (source died,
+//     partition) leaves its spooled chunks on disk; when the source —
+//     or a failover retry — re-sends Hello for the same session and
+//     epoch, the target excludes the spooled chunks from its need-set,
+//     so only the missing tail crosses the wire again.
+//   - Clean abort: a target that crashed mid-import comes back up with
+//     a pending record but no imported session. Recovery resolves the
+//     record by deleting it and its spool — the import either committed
+//     atomically (record gone, session journaled) or never happened.
+//
+// An empty dir runs the spool purely in memory: no crash durability,
+// but the same resumable-offsets behaviour for live-target retries.
+
+// PendingRecord describes one in-flight import.
+type PendingRecord struct {
+	Session int64  `json:"session"`
+	Owner   string `json:"owner"`
+	Epoch   uint64 `json:"epoch"`
+	// Total is the number of chunks the transfer's manifest names.
+	Total int `json:"total_chunks"`
+}
+
+func pendingPath(dir string, session int64) string {
+	return filepath.Join(dir, fmt.Sprintf("mig-%d.pending", session))
+}
+
+func spoolPath(dir string, session int64) string {
+	return filepath.Join(dir, fmt.Sprintf("mig-%d.spool", session))
+}
+
+// Spool accumulates received chunks for one import. Not safe for
+// concurrent use; the import runs under its connection's service lock.
+type Spool struct {
+	dir    string
+	rec    PendingRecord
+	chunks map[ChunkID][]byte
+	f      *os.File
+}
+
+// OpenSpool starts (or resumes) the spool for rec. With a directory it
+// writes the pending record atomically, then replays any existing spool
+// file: chunk frames recorded by a previous attempt at the same epoch
+// are loaded as already-received; a spool from a different epoch is
+// stale (the image changed) and is discarded. A torn spool tail — the
+// crash arrived mid-append — is truncated away, exactly like the
+// journal's recovery.
+func OpenSpool(dir string, rec PendingRecord) (*Spool, error) {
+	s := &Spool{dir: dir, rec: rec, chunks: make(map[ChunkID][]byte)}
+	if dir == "" {
+		return s, nil
+	}
+	prev, err := readPending(pendingPath(dir, rec.Session))
+	stale := err != nil || prev.Epoch != rec.Epoch || prev.Owner != rec.Owner
+	if err := writePending(pendingPath(dir, rec.Session), rec); err != nil {
+		return nil, err
+	}
+	if stale {
+		_ = os.Remove(spoolPath(dir, rec.Session))
+	}
+	f, err := os.OpenFile(spoolPath(dir, rec.Session), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("failover: opening spool: %w", err)
+	}
+	s.f = f
+	if err := s.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// load replays the spool file into the chunk map and truncates any torn
+// or corrupt tail so later appends extend a clean prefix.
+func (s *Spool) load() error {
+	data, err := os.ReadFile(spoolPath(s.dir, s.rec.Session))
+	if err != nil {
+		return fmt.Errorf("failover: reading spool: %w", err)
+	}
+	valid := 0
+	for len(data[valid:]) > 0 {
+		f, n, res := DecodeFrame(data[valid:])
+		if res != DecodeOK || f.Type != FrameChunk {
+			break
+		}
+		var c Chunk
+		if DecodePayload(f.Payload, &c) != nil {
+			break
+		}
+		s.chunks[c.ID] = c.Data
+		valid += n
+	}
+	if valid < len(data) {
+		if err := s.f.Truncate(int64(valid)); err != nil {
+			return fmt.Errorf("failover: truncating torn spool: %w", err)
+		}
+	}
+	if _, err := s.f.Seek(int64(valid), 0); err != nil {
+		return fmt.Errorf("failover: seeking spool: %w", err)
+	}
+	return nil
+}
+
+// Has reports whether the chunk was already received (or satisfied from
+// the dedup store via PutLocal).
+func (s *Spool) Has(id ChunkID) bool {
+	_, ok := s.chunks[id]
+	return ok
+}
+
+// Get returns a received chunk's bytes.
+func (s *Spool) Get(id ChunkID) ([]byte, bool) {
+	b, ok := s.chunks[id]
+	return b, ok
+}
+
+// Count reports how many chunks the spool holds.
+func (s *Spool) Count() int { return len(s.chunks) }
+
+// Put records a chunk received over the wire, appending it durably when
+// the spool is file-backed so a retry after a crash need not re-ship it.
+func (s *Spool) Put(id ChunkID, data []byte) error {
+	s.chunks[id] = data
+	if s.f == nil {
+		return nil
+	}
+	frame := EncodeFrame(nil, Frame{Type: FrameChunk, Session: s.rec.Session, Payload: mustEncode(Chunk{ID: id, Data: data})})
+	if _, err := s.f.Write(frame); err != nil {
+		return fmt.Errorf("failover: spooling chunk: %w", err)
+	}
+	return nil
+}
+
+// PutLocal records a chunk satisfied without transfer (dedup-store hit).
+// It is not spooled: the store can satisfy it again after a crash.
+func (s *Spool) PutLocal(id ChunkID, data []byte) {
+	s.chunks[id] = data
+}
+
+// Resolve finishes the pending operation: the record and spool are
+// deleted. Call it after the import committed (the journal now owns the
+// session) or when aborting a dead transfer.
+func (s *Spool) Resolve() {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	if s.dir != "" {
+		_ = os.Remove(pendingPath(s.dir, s.rec.Session))
+		_ = os.Remove(spoolPath(s.dir, s.rec.Session))
+	}
+	s.chunks = make(map[ChunkID][]byte)
+}
+
+// Close releases the spool file without deleting anything — the pending
+// record survives for a later resume or recovery-time abort.
+func (s *Spool) Close() {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+}
+
+// PendingOps lists the pending-operation records in dir.
+func PendingOps(dir string) []PendingRecord {
+	if dir == "" {
+		return nil
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "mig-*.pending"))
+	var recs []PendingRecord
+	for _, path := range matches {
+		if rec, err := readPending(path); err == nil {
+			recs = append(recs, rec)
+		}
+	}
+	return recs
+}
+
+// ResolvePending aborts every pending import in dir (target restart:
+// nothing in-flight can complete, and a committed import already
+// resolved its record). Returns the number of records aborted.
+func ResolvePending(dir string, logf func(format string, args ...any)) int {
+	recs := PendingOps(dir)
+	for _, rec := range recs {
+		_ = os.Remove(pendingPath(dir, rec.Session))
+		_ = os.Remove(spoolPath(dir, rec.Session))
+		if logf != nil {
+			logf("failover: aborted pending import of session %d (owner %s epoch %d)", rec.Session, rec.Owner, rec.Epoch)
+		}
+	}
+	return len(recs)
+}
+
+func readPending(path string) (PendingRecord, error) {
+	var rec PendingRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("failover: corrupt pending record %s: %w", path, err)
+	}
+	return rec, nil
+}
+
+func writePending(path string, rec PendingRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("failover: writing pending record: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("failover: publishing pending record: %w", err)
+	}
+	return nil
+}
+
+func mustEncode(v any) []byte {
+	b, err := EncodePayload(v)
+	if err != nil {
+		// Chunk payloads are plain structs of bytes and ints; gob
+		// cannot fail on them.
+		panic(err)
+	}
+	return b
+}

@@ -73,6 +73,20 @@ const (
 	// the temporary snapshot is written and synced (before the atomic
 	// rename) and once after the rename (before the journal truncates).
 	PointJournalCompact Point = "ckptlog.compact"
+	// PointLeaseCheck fires on each lease fence check of a mutating
+	// call. ActError models the lease-expiry race: the session's lease
+	// is revoked as if a peer stole it the instant before the check, so
+	// the owner's in-flight write is rejected with ErrFenced.
+	PointLeaseCheck Point = "failover.lease"
+	// PointMigrateTransfer fires on the migration source for each wire
+	// frame sent to the target. ActError aborts the transfer mid-stream,
+	// ActCrash kills the source with a partially-shipped image on the
+	// target.
+	PointMigrateTransfer Point = "failover.transfer"
+	// PointMigrateImport fires on the migration target for each wire
+	// frame received. ActCrash kills the target mid-import, leaving a
+	// pending-operation record that recovery must resolve.
+	PointMigrateImport Point = "failover.import"
 )
 
 // Action is what a fired rule does to the operation.
@@ -467,6 +481,10 @@ func errorFor(override api.Error, point Point) error {
 		return api.ErrMemoryAllocation
 	case PointSwapWrite, PointSwapAlloc:
 		return api.ErrSwapAllocation
+	case PointLeaseCheck:
+		return api.ErrFenced
+	case PointMigrateTransfer:
+		return api.ErrConnectionClosed
 	default:
 		return api.ErrInvalidValue
 	}

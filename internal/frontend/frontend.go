@@ -261,6 +261,25 @@ func (c *Client) Checkpoint() error {
 	return err
 }
 
+// Migrate ships this connection's session to the node listening at
+// target (DESIGN.md §13). On success the local copy is deposed — any
+// further mutating call on this connection fails with ErrFenced — and
+// the caller should reconnect to target and Resume under the session ID
+// from Session().
+func (c *Client) Migrate(target string) error {
+	_, err := c.call(api.MigrateCall{Target: target})
+	return err
+}
+
+// Adopt asks the connected runtime to recover every session committed
+// in journal directory dir — a dead peer's durable state on shared
+// storage — as resumable orphan sessions (failover promotion). Returns
+// the number of sessions adopted.
+func (c *Client) Adopt(dir string) (int, error) {
+	r, err := c.call(api.AdoptCall{Dir: dir})
+	return r.Count, err
+}
+
 // Close announces an orderly exit and tears the connection down.
 func (c *Client) Close() error {
 	if c.closed {

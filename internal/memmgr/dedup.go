@@ -2,6 +2,7 @@ package memmgr
 
 import (
 	"bytes"
+	"hash/crc32"
 	"sync"
 )
 
@@ -262,3 +263,25 @@ func (m *Manager) DedupChunks() int {
 	}
 	return n
 }
+
+// DedupLookup returns a copy of an interned chunk whose content matches
+// (hash, length, CRC-32C sum) — the migration target's local-satisfy
+// path: a manifest chunk already present in this node's dedup store
+// (another tenant's identical data, or a prior import) need not cross
+// the wire at all. The CRC disambiguates hash-colliding candidates the
+// same way the seal path's byte-compare does, without the caller having
+// to ship the bytes it is trying to avoid shipping.
+func (m *Manager) DedupLookup(hash uint64, length int, sum uint32) ([]byte, bool) {
+	d := &m.dedup
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range d.chunks[hash] {
+		if len(c.data) == length && crc32.Checksum(c.data, dedupCRCTable) == sum {
+			return append([]byte(nil), c.data...), true
+		}
+	}
+	return nil, false
+}
+
+// dedupCRCTable matches the failover wire protocol's chunk checksum.
+var dedupCRCTable = crc32.MakeTable(crc32.Castagnoli)

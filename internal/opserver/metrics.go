@@ -35,6 +35,11 @@ func statCounters(s api.RuntimeStats) []counter {
 		{"swap_ops_total", "Swap-area operations.", s.SwapOps},
 		{"swap_bytes_total", "Bytes moved through the swap area.", s.SwapBytes},
 		{"migrations_total", "Inter-device context migrations.", s.Migrations},
+		{"migrations_started_total", "Cross-node session migrations started.", s.MigrationsStarted},
+		{"migrations_completed_total", "Cross-node session migrations committed on the target.", s.MigrationsCompleted},
+		{"migrations_aborted_total", "Cross-node session migrations aborted or refused.", s.MigrationsAborted},
+		{"fence_rejections_total", "Mutating calls rejected by the session-lease write fence.", s.FenceRejections},
+		{"lease_renewals_total", "Session-lease renewals piggybacked on served calls.", s.LeaseRenewals},
 		{"recoveries_total", "Device-failure recoveries.", s.Recoveries},
 		{"replays_total", "Kernels replayed during recovery.", s.Replays},
 		{"device_failures_total", "Device failures observed.", s.DeviceFailures},
@@ -140,6 +145,10 @@ func histInfo(key string) histMeta {
 		return histMeta{"gvrt_journal_commit_wall_seconds", "Durable kernel commit cost (WALL seconds, dominated by fsync).", 1e9}
 	case "peer_call":
 		return histMeta{"gvrt_peer_call_seconds", "Peer RPC round-trip time (model seconds).", 1e9}
+	case "migration_duration":
+		return histMeta{"gvrt_migration_duration_seconds", "Cross-node session migration duration (model seconds).", 1e9}
+	case "migration_bytes":
+		return histMeta{"gvrt_migration_size_bytes", "Wire bytes actually shipped per cross-node migration (after dedup/resume exclusion).", 1}
 	default:
 		// Unknown future keys still expose, as sanitized model-second
 		// histograms, so adding a histogram never silently drops data.

@@ -36,6 +36,13 @@ func Transient(err error) bool {
 	case api.ErrNoDevice, api.ErrDeviceUnavailable, api.ErrOverloaded,
 		api.ErrConnectionClosed, api.ErrDeadlineExceeded:
 		return true
+	case api.ErrFenced:
+		// Explicitly permanent: the session's lease moved to another
+		// node, so no retry on this connection can ever succeed — the
+		// client must reconnect to the new owner and Resume. Spending
+		// retry budget here would slow exactly the failover it should
+		// be following.
+		return false
 	}
 	return false
 }

@@ -242,6 +242,12 @@ type Timings struct {
 	// DedupSaved is bytes saved per swap-image seal that shared at
 	// least one chunk with the dedup store.
 	DedupSaved Histogram
+	// MigrationDur is model time per completed cross-node migration
+	// (export → committed import on the target).
+	MigrationDur Histogram
+	// MigrationBytes is wire bytes actually shipped per migration —
+	// after dedup/resume chunks were excluded from the transfer.
+	MigrationBytes Histogram
 }
 
 // Snapshot renders every histogram with a non-zero count, keyed by
@@ -265,6 +271,8 @@ func (t *Timings) Snapshot() map[string]HistSnapshot {
 		"peer_call":           &t.PeerCall,
 		"prefetch":            &t.Prefetch,
 		"dedup_saved":         &t.DedupSaved,
+		"migration_duration":  &t.MigrationDur,
+		"migration_bytes":     &t.MigrationBytes,
 	}
 	for name, h := range named {
 		if s := h.Snapshot(); s.Count > 0 {

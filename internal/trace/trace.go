@@ -48,6 +48,13 @@ const (
 	KindBreakerHeal
 	// KindExit is an application-thread exit.
 	KindExit
+	// KindFence is a mutating call rejected because the session's lease
+	// epoch moved (deposed owner).
+	KindFence
+	// KindCrossMigration is a cross-node context migration event
+	// (export shipped, import committed, or failover promotion) —
+	// distinct from KindMigration, the intra-node device re-binding.
+	KindCrossMigration
 )
 
 var kindNames = [...]string{
@@ -64,7 +71,9 @@ var kindNames = [...]string{
 	KindShed:        "shed",
 	KindBreakerTrip: "breaker-trip",
 	KindBreakerHeal: "breaker-heal",
-	KindExit:        "exit",
+	KindExit:           "exit",
+	KindFence:          "fence",
+	KindCrossMigration: "cross-migration",
 }
 
 // String implements fmt.Stringer.
