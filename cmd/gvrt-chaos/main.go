@@ -93,6 +93,9 @@ func main() {
 
 		failoverMode   = flag.Bool("failover", false, "failover-torture mode: SIGKILL a source/target node pair at armed failover crash points and verify every acked kernel is observable after takeover, with deposed writes fenced")
 		failoverRounds = flag.Int("failover-rounds", 6, "failover-torture rounds (scenarios cycle: source kill mid-launch, source kill mid-transfer, target kill mid-import); sessions/launches reuse the -torture-* flags")
+
+		ctrlMode   = flag.Bool("ctrlplane", false, "control-plane torture mode: SIGKILL a store-backed daemon mid-mutation at armed crash points and verify every REST mutation is fully applied or fully rolled back after restart")
+		ctrlRounds = flag.Int("ctrlplane-rounds", 5, "control-plane torture rounds (scenarios cycle: mid-op-step, pre-fsync, post-fsync, mid-compaction, stuck-ops + REST cleanup)")
 	)
 	flag.Parse()
 
@@ -101,11 +104,18 @@ func main() {
 		tortureChild()
 		return
 	}
+	if os.Getenv(envCtrlChild) == "1" {
+		ctrlChild()
+		return
+	}
 	if *torture {
 		os.Exit(runTorture(*seed, *tortureRounds, *tortureSessions, *tortureLaunches, *timeout))
 	}
 	if *failoverMode {
 		os.Exit(runFailover(*seed, *failoverRounds, *tortureSessions, *tortureLaunches, *timeout))
+	}
+	if *ctrlMode {
+		os.Exit(runCtrlTorture(*seed, *ctrlRounds, *timeout))
 	}
 
 	plan, ok := plans(*seed)[*planName]

@@ -17,9 +17,11 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -34,6 +36,7 @@ func main() {
 		interval = flag.Duration("interval", 2*time.Second, "refresh interval (wall time)")
 		once     = flag.Bool("once", false, "print one frame and exit (no screen clearing)")
 		count    = flag.Int("count", 0, "exit after this many frames (0 = run until interrupted)")
+		events   = flag.String("events", "", "operator-plane base URL (e.g. http://localhost:8080): watch its /events stream and refresh the instant the control plane commits a change, instead of waiting out the interval")
 	)
 	flag.Parse()
 
@@ -44,9 +47,18 @@ func main() {
 	c := gvrt.Connect(conn)
 	defer c.Close()
 
+	// Control-plane reactivity: store commits arrive on evCh and cut the
+	// sleep short, so a tenant/quota/drain change redraws immediately.
+	var evCh chan string
+	if *events != "" {
+		evCh = make(chan string, 16)
+		go watchEvents(strings.TrimRight(*events, "/")+"/events", evCh)
+	}
+
 	var prev gvrt.RuntimeStats
 	havePrev := false
 	frames := 0
+	lastEvent := ""
 	for {
 		st, err := c.Stats()
 		if err != nil {
@@ -58,12 +70,64 @@ func main() {
 			fmt.Print("\x1b[H\x1b[2J")
 		}
 		os.Stdout.WriteString(frame)
+		if lastEvent != "" {
+			fmt.Printf("\nctrl: %s\n", lastEvent)
+		}
 		prev, havePrev = st, true
 		frames++
 		if *once || (*count > 0 && frames >= *count) {
 			return
 		}
-		time.Sleep(*interval)
+		if evCh == nil {
+			time.Sleep(*interval)
+			continue
+		}
+		select {
+		case ev := <-evCh:
+			// Coalesce a burst of commits into one redraw.
+			lastEvent = drainEvents(evCh, ev)
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// drainEvents empties buffered events, returning the newest.
+func drainEvents(ch <-chan string, last string) string {
+	for {
+		select {
+		case v := <-ch:
+			last = v
+		default:
+			return last
+		}
+	}
+}
+
+// watchEvents follows the operator plane's /events SSE stream, sending
+// each data payload (one store commit) to ch. The connection is retried
+// forever — the daemon restarting mid-watch is exactly when an operator
+// wants the dashboard to catch up.
+func watchEvents(url string, ch chan<- string) {
+	for {
+		resp, err := http.Get(url)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			if resp != nil {
+				resp.Body.Close()
+			}
+			time.Sleep(2 * time.Second)
+			continue
+		}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				select {
+				case ch <- data:
+				default: // dashboard busy; drop — the next frame re-polls anyway
+				}
+			}
+		}
+		resp.Body.Close()
+		time.Sleep(2 * time.Second)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -91,6 +92,8 @@ func main() {
 		autoCkpt  = flag.Duration("auto-checkpoint", 0, "checkpoint after kernels at least this long (model time; 0 = off)")
 		stateFile = flag.String("state", "", "persist runtime state here on SIGINT/SIGTERM and restore it at startup (node-restart support)")
 		journal   = flag.String("journal", "", "crash-consistent checkpoint journal directory: committed sessions survive even a SIGKILL")
+		storeDir  = flag.String("store", "", "control-plane store directory: tenants, quotas and device membership survive crashes; mutations resume or roll back at boot (REST surface needs -http)")
+		nodeName  = flag.String("node", "", "node name registered in the control-plane store (default the listen address)")
 		httpAddr  = flag.String("http", "", "HTTP operator plane address (/metrics, /statusz, /tracez, /trace.json, /debug/pprof); empty = off")
 		traceCap  = flag.Int("trace-buffer", 4096, "events/spans retained for the operator plane's trace views")
 		verbose   = flag.Bool("v", false, "log runtime events")
@@ -202,51 +205,95 @@ func main() {
 		}
 	}
 
+	// Crash-resumable control plane (DESIGN.md §14): open the store,
+	// resolve operations a previous run left mid-flight (resume the
+	// forward-safe ones, roll back the rest), then reconcile the runtime
+	// with the committed state — quotas re-applied, drained devices
+	// re-drained.
+	var ctrl *gvrt.CtrlManager
+	var ctrlStore *gvrt.CtrlStore
+	if *storeDir != "" {
+		ctrlStore, err = gvrt.OpenCtrlStore(*storeDir, gvrt.CtrlStoreOptions{
+			OnCrash: gvrt.JournalDie,
+			Logf: func(format string, args ...any) {
+				log.Printf("gvrtd: store: "+format, args...)
+			},
+		})
+		if err != nil {
+			if errors.Is(err, gvrt.ErrCorruptCtrlSnapshot) {
+				log.Fatalf("gvrtd: control-plane store %s is unrecoverable (%v); restore the directory or move it aside", *storeDir, err)
+			}
+			log.Fatalf("gvrtd: opening control-plane store %s: %v", *storeDir, err)
+		}
+		ctrl = gvrt.NewCtrlManager(ctrlStore, gvrt.CtrlManagerOptions{
+			Hooks:   node.RT,
+			OnCrash: gvrt.JournalDie,
+			Trace:   cfg.Trace,
+			Now:     node.RT.Clock().Now,
+			Logf: func(format string, args ...any) {
+				log.Printf("gvrtd: ctrl: "+format, args...)
+			},
+		})
+		if err := ctrl.Resume(); err != nil {
+			log.Fatalf("gvrtd: resuming control-plane operations: %v", err)
+		}
+		if err := ctrl.SyncDevices(); err != nil {
+			log.Fatalf("gvrtd: syncing device membership: %v", err)
+		}
+		if err := ctrl.ApplyStored(); err != nil {
+			log.Printf("gvrtd: re-applying stored control-plane state: %v", err)
+		}
+		name := *nodeName
+		if name == "" {
+			name = *listen
+		}
+		if err := ctrl.RegisterNode(name, node.RT.DeviceCount()); err != nil {
+			log.Printf("gvrtd: registering node: %v", err)
+		}
+		if ops := ctrl.Ops(); len(ops) > 0 {
+			log.Printf("gvrtd: %d control-plane operation(s) stuck; inspect /ops and POST /ops/cleanup", len(ops))
+		}
+	}
+
 	l, err := gvrt.Listen(*listen)
 	if err != nil {
 		log.Fatalf("gvrtd: %v", err)
 	}
 	defer l.Close()
 
-	if *stateFile != "" || jnl != nil {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			code := 0
-			if *stateFile != "" {
-				// Write-then-rename so a kill mid-save can never leave a
-				// truncated state file where a good one was.
-				if err := saveStateAtomic(node.RT, *stateFile); err != nil {
-					log.Printf("gvrtd: SAVING STATE FAILED, sessions not persisted to %s: %v", *stateFile, err)
-					code = 1
-				} else {
-					fmt.Fprintf(os.Stderr, "gvrtd: state saved to %s\n", *stateFile)
-				}
-			}
-			if jnl != nil {
-				// Fold the journal into a fresh snapshot so the next boot
-				// recovers fast, then close it cleanly.
-				if err := jnl.Compact(); err != nil {
-					log.Printf("gvrtd: journal compaction on shutdown: %v", err)
-				}
-				if err := jnl.Close(); err != nil {
-					log.Printf("gvrtd: closing journal: %v", err)
-					code = 1
-				}
-			}
-			os.Exit(code)
-		}()
-	}
+	// Graceful shutdown: SIGTERM/SIGINT stops admitting (new connections
+	// are shed, live session leases revoked so peers can steal them),
+	// closes the listener, persists what was asked for, flushes the
+	// journal and the store, then exits 0. SIGKILL remains the
+	// crash-consistency path the torture harnesses exercise.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var draining atomic.Bool
+	go func() {
+		<-sig
+		draining.Store(true)
+		node.RT.BeginDrain()
+		l.Close() // unblocks ServeListener; no new connections
+	}()
 
 	if *httpAddr != "" {
 		addr := *httpAddr
+		src := gvrt.OpsSource{
+			Stats: node.RT.StatsSnapshot,
+			Trace: node.RT.TraceRecorder(),
+			Now:   node.RT.Clock().Now,
+			Name:  "gvrtd " + *listen,
+			Ctrl:  ctrl,
+		}
+		if jnl != nil {
+			src.JournalHealthy = jnl.Healthy
+		}
 		go func() {
-			if err := http.ListenAndServe(addr, gvrt.OpsHandlerFor(node.RT, "gvrtd "+*listen)); err != nil {
+			if err := http.ListenAndServe(addr, gvrt.NewOpsHandler(src)); err != nil {
 				log.Printf("gvrtd: operator plane on %s: %v", addr, err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "gvrtd: operator plane on http://%s (/metrics /statusz /tracez /trace.json /debug/pprof)\n", addr)
+		fmt.Fprintf(os.Stderr, "gvrtd: operator plane on http://%s (/metrics /statusz /tracez /trace.json /healthz /debug/pprof)\n", addr)
 	}
 
 	fmt.Fprintf(os.Stderr, "gvrtd: serving %d GPUs (%d vGPUs) on %s (scale %g)\n",
@@ -268,4 +315,45 @@ func main() {
 	}
 
 	node.RT.ServeListener(l)
+
+	// ServeListener returns once the listener closes. If that was the
+	// drain goroutine's doing, finish the shutdown here on the main
+	// goroutine so the process cannot exit before the journal and store
+	// are flushed.
+	if !draining.Load() {
+		return
+	}
+	code := 0
+	if *stateFile != "" {
+		// Write-then-rename so a kill mid-save can never leave a
+		// truncated state file where a good one was.
+		if err := saveStateAtomic(node.RT, *stateFile); err != nil {
+			log.Printf("gvrtd: SAVING STATE FAILED, sessions not persisted to %s: %v", *stateFile, err)
+			code = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "gvrtd: state saved to %s\n", *stateFile)
+		}
+	}
+	if jnl != nil {
+		// Fold the journal into a fresh snapshot so the next boot
+		// recovers fast, then close it cleanly.
+		if err := jnl.Compact(); err != nil {
+			log.Printf("gvrtd: journal compaction on shutdown: %v", err)
+		}
+		if err := jnl.Close(); err != nil {
+			log.Printf("gvrtd: closing journal: %v", err)
+			code = 1
+		}
+	}
+	if ctrlStore != nil {
+		if err := ctrlStore.Compact(); err != nil {
+			log.Printf("gvrtd: store compaction on shutdown: %v", err)
+		}
+		if err := ctrlStore.Close(); err != nil {
+			log.Printf("gvrtd: closing store: %v", err)
+			code = 1
+		}
+	}
+	fmt.Fprintf(os.Stderr, "gvrtd: drained, exiting\n")
+	os.Exit(code)
 }

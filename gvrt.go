@@ -50,6 +50,7 @@ import (
 	"gvrt/internal/ckptlog"
 	"gvrt/internal/cluster"
 	"gvrt/internal/core"
+	"gvrt/internal/ctrlplane"
 	"gvrt/internal/cudart"
 	"gvrt/internal/failover"
 	"gvrt/internal/faultinject"
@@ -298,6 +299,10 @@ const (
 	FaultLeaseCheck      = faultinject.PointLeaseCheck
 	FaultMigrateTransfer = faultinject.PointMigrateTransfer
 	FaultMigrateImport   = faultinject.PointMigrateImport
+	FaultStorePreSync    = faultinject.PointStorePreSync
+	FaultStorePostSync   = faultinject.PointStorePostSync
+	FaultStoreCompact    = faultinject.PointStoreCompact
+	FaultCtrlOpStep      = faultinject.PointCtrlOpStep
 )
 
 // Fault actions.
@@ -385,6 +390,59 @@ func MigrationPendingOps(dir string) []MigrationPendingRecord {
 	return failover.PendingOps(dir)
 }
 
+// Crash-resumable control plane (DESIGN.md §14): a transactional
+// embedded cluster store (tenants, quotas, device/node membership) and
+// a pending-operation engine that makes every mutating administrative
+// action survive daemon crashes — recorded before execution, executed
+// in idempotent steps, and at boot resumed or rolled back.
+type (
+	// CtrlStore is the keyed transactional store (CRC-framed WAL +
+	// atomic-rename compaction, the checkpoint journal's discipline
+	// generalized to arbitrary keys).
+	CtrlStore = ctrlplane.Store
+	// CtrlStoreOptions tunes a CtrlStore (crash points, compaction).
+	CtrlStoreOptions = ctrlplane.Options
+	// CtrlStoreStats is a snapshot of a store's counters.
+	CtrlStoreStats = ctrlplane.Stats
+	// CtrlManager executes mutations as journaled pending operations.
+	CtrlManager = ctrlplane.Manager
+	// CtrlManagerOptions tunes a CtrlManager.
+	CtrlManagerOptions = ctrlplane.ManagerOptions
+	// CtrlHooks is the runtime surface the control plane drives; the
+	// Runtime implements it.
+	CtrlHooks = ctrlplane.Hooks
+	// CtrlOp is one journaled pending operation.
+	CtrlOp = ctrlplane.Op
+	// CtrlTenant is a registered tenant.
+	CtrlTenant = ctrlplane.Tenant
+	// CtrlQuota bounds a tenant's sessions and aggregate bytes.
+	CtrlQuota = ctrlplane.Quota
+	// CtrlDeviceRec is a device membership record.
+	CtrlDeviceRec = ctrlplane.DeviceRec
+	// CtrlEvent describes one store commit to an /events watcher.
+	CtrlEvent = ctrlplane.Event
+	// CtrlCounters is a snapshot of a manager's operation counters.
+	CtrlCounters = ctrlplane.Counters
+)
+
+// OpenCtrlStore opens (creating if needed) a control-plane store
+// directory, recovering its state: torn WAL tails truncated, corrupt
+// records quarantined.
+func OpenCtrlStore(dir string, opts CtrlStoreOptions) (*CtrlStore, error) {
+	return ctrlplane.Open(dir, opts)
+}
+
+// NewCtrlManager builds the pending-operation engine over an open
+// store. Call Resume once at boot (before serving), then SyncDevices
+// and ApplyStored to reconcile the runtime with the stored state.
+func NewCtrlManager(store *CtrlStore, opts CtrlManagerOptions) *CtrlManager {
+	return ctrlplane.NewManager(store, opts)
+}
+
+// ErrCorruptCtrlSnapshot reports an unrecoverable control-plane store
+// snapshot header; operators must restore or move the directory aside.
+var ErrCorruptCtrlSnapshot = ctrlplane.ErrCorruptSnapshot
+
 // NewFailoverBackoff builds the decorrelated-jitter backoff used to
 // space promotion retries.
 func NewFailoverBackoff(base, cap time.Duration, rng *RNG) *resilience.Backoff {
@@ -466,6 +524,7 @@ const (
 	ErrSessionClaimed       = api.ErrSessionClaimed
 	ErrJournalFailure       = api.ErrJournalFailure
 	ErrFenced               = api.ErrFenced
+	ErrQuotaExceeded        = api.ErrQuotaExceeded
 )
 
 // ErrorCode extracts the result code from an error returned by the

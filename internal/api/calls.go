@@ -194,6 +194,14 @@ type RegisterNestedCall struct {
 // to the same physical GPU and are excluded from independent migration.
 type SetAppIDCall struct{ AppID string }
 
+// SetTenantCall announces which tenant this application thread belongs
+// to, for multi-tenant quota enforcement: once announced, the thread
+// counts against the tenant's admitted-session cap, and its allocations
+// against the tenant's aggregate byte cap (quotas are set through the
+// control plane, see internal/ctrlplane). Announcing a tenant whose
+// session cap is already full fails the call with ErrQuotaExceeded.
+type SetTenantCall struct{ Tenant string }
+
 // SetDeadlineCall announces a quality-of-service deadline for this
 // application thread (§2: "Yet another scheduling policy may be adopted
 // in the presence of expected quality of service requirements (e.g.:
@@ -263,6 +271,7 @@ func (GetDeviceCountCall) CallName() string    { return "cudaGetDeviceCount" }
 func (SynchronizeCall) CallName() string       { return "cudaDeviceSynchronize" }
 func (RegisterNestedCall) CallName() string    { return "gvrtRegisterNested" }
 func (SetAppIDCall) CallName() string          { return "gvrtSetAppID" }
+func (SetTenantCall) CallName() string         { return "gvrtSetTenant" }
 func (SetDeadlineCall) CallName() string       { return "gvrtSetDeadline" }
 func (GetSessionCall) CallName() string        { return "gvrtGetSession" }
 func (ResumeCall) CallName() string            { return "gvrtResume" }
@@ -338,6 +347,7 @@ func init() {
 	gob.Register(SynchronizeCall{})
 	gob.Register(RegisterNestedCall{})
 	gob.Register(SetAppIDCall{})
+	gob.Register(SetTenantCall{})
 	gob.Register(SetDeadlineCall{})
 	gob.Register(GetSessionCall{})
 	gob.Register(ResumeCall{})

@@ -93,6 +93,10 @@ const (
 	// condition is permanent for this connection — retrying cannot
 	// succeed; the client must reconnect to the new owner and Resume.
 	ErrFenced
+	// ErrQuotaExceeded reports a tenant quota violation: the tenant's
+	// admitted-session cap or aggregate allocated-bytes cap (set through
+	// the control plane) would be exceeded by this call.
+	ErrQuotaExceeded
 )
 
 var errNames = map[Error]string{
@@ -116,6 +120,7 @@ var errNames = map[Error]string{
 	ErrSessionClaimed:       "session already resumed by another connection",
 	ErrJournalFailure:       "durability journal write failed",
 	ErrFenced:               "session lease lost, write fenced",
+	ErrQuotaExceeded:        "tenant quota exceeded",
 }
 
 // Error implements the error interface. Success should never be wrapped

@@ -123,6 +123,15 @@ func (j *Journal) crashPoint(h *faultinject.Hook) {
 // Dir returns the journal directory.
 func (j *Journal) Dir() string { return j.dir }
 
+// Healthy reports whether the journal can still persist commits: false
+// after a persistent write error or Close. The operator plane's
+// /healthz readiness probe keys off it.
+func (j *Journal) Healthy() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return !j.dead
+}
+
 // Stats returns a snapshot of the journal's counters.
 func (j *Journal) Stats() Stats {
 	j.mu.Lock()

@@ -52,6 +52,11 @@ type Context struct {
 	binaries   map[string]api.FatBinary
 	replay     []api.LaunchCall
 	replayRefs map[api.DevPtr]bool
+	// tenant is the announced tenant membership (SetTenantCall);
+	// tenantCharged is how many bytes this context currently holds
+	// against the tenant's byte quota (tenant.go).
+	tenant        string
+	tenantCharged uint64
 	// pinned marks contexts excluded from sharing and dynamic
 	// scheduling because their kernels allocate device memory
 	// dynamically (§1). Written by the owner, read by swap/migration
@@ -228,6 +233,7 @@ func (rt *Runtime) teardown(ctx *Context) {
 		mi.spool.Close()
 		ctx.migrate = nil
 	}
+	rt.leaveTenant(ctx)
 	rt.leaseRelease(ctx)
 	rt.event(trace.KindExit, ctx.id, 0, -1, "")
 }
@@ -264,7 +270,15 @@ func (rt *Runtime) handle(ctx *Context, call api.Call) api.Reply {
 		case api.AllocArray:
 			kind = memmgr.KindArray
 		}
+		// Tenant byte quota (tenant.go): reserve before allocating,
+		// refund if the allocation fails.
+		if code := rt.tenantCharge(ctx, c.Size); code != api.Success {
+			return api.Reply{Code: code}
+		}
 		ptr, err := rt.mm.Malloc(ctx.id, c.Size, kind)
+		if err != nil {
+			rt.tenantUncharge(ctx, c.Size)
+		}
 		return api.Reply{Code: api.Code(err), Ptr: ptr}
 
 	case api.FreeCall:
@@ -282,6 +296,9 @@ func (rt *Runtime) handle(ctx *Context, call api.Call) api.Reply {
 		err = rt.deviceOp(ctx, func() error {
 			return rt.mm.Free(pte, rt.boundOps(ctx))
 		})
+		if err == nil {
+			rt.tenantUncharge(ctx, pte.Size)
+		}
 		return api.Reply{Code: api.Code(err)}
 
 	case api.MemsetCall:
@@ -383,6 +400,12 @@ func (rt *Runtime) handle(ctx *Context, call api.Call) api.Reply {
 		ctx.appID = c.AppID
 		rt.mu.Unlock()
 		return api.Reply{}
+
+	case api.SetTenantCall:
+		// Multi-tenant quota surface (tenant.go): enrol this thread in
+		// the tenant, counting it against the tenant's session cap and
+		// charging its existing allocations against the byte cap.
+		return api.Reply{Code: rt.joinTenant(ctx, c.Tenant)}
 
 	case api.RegisterNestedCall:
 		parent, off, err := rt.mm.Resolve(c.Parent)

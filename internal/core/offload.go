@@ -80,6 +80,15 @@ func (rt *Runtime) shouldShed(admitted int) bool {
 // the connection locally or proxies it to a peer node. Call it on its
 // own goroutine per accepted connection.
 func (rt *Runtime) HandleConn(sc transport.ServerConn) {
+	if rt.draining.Load() {
+		// Graceful shutdown in progress: refuse new work fast (same
+		// ErrOverloaded protocol the shed path speaks) while in-flight
+		// sessions run to completion.
+		rt.sheds.Add(1)
+		rt.event(trace.KindShed, 0, 0, -1, "draining")
+		rt.shed(sc)
+		return
+	}
 	admitted := int(rt.admitted.Add(1))
 	if rt.shouldOffload(admitted) {
 		peer, err := rt.cfg.PeerDial()

@@ -436,6 +436,17 @@ type Runtime struct {
 	migAborted      atomic.Int64
 	fenceRejections atomic.Int64
 	leaseRenewals   atomic.Int64
+
+	// Tenant quota enforcement (tenant.go): tenantMu guards the
+	// registry; per-tenant usage counters live inside each entry.
+	tenantMu     sync.Mutex
+	tenants      map[string]*tenantState
+	quotaRejects atomic.Int64
+
+	// draining, once set, makes HandleConn refuse every new connection
+	// (graceful shutdown: the daemon stops admitting, lets in-flight
+	// sessions finish, then exits).
+	draining atomic.Bool
 }
 
 // New builds a runtime over a CUDA runtime instance, creating the
@@ -452,6 +463,7 @@ func New(crt *cudart.Runtime, cfg Config) (*Runtime, error) {
 		mm:         memmgr.New(!cfg.WriteThrough, cfg.HostMemory),
 		policy:     cfg.Policy,
 		ctxs:       make(map[int64]*Context),
+		tenants:    make(map[string]*tenantState),
 		prefetchCh: make(chan prefetchReq, 64),
 		quit:       make(chan struct{}),
 	}

@@ -1,0 +1,377 @@
+package ctrlplane
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"gvrt/internal/faultinject"
+)
+
+// fakeHooks is a Hooks implementation backed by plain maps with no
+// internal locking: the Manager's mutex is the only thing standing
+// between concurrent mutations and a data race, which is exactly what
+// the -race test below relies on.
+type fakeHooks struct {
+	quotas  map[string][2]uint64 // tenant -> {maxSessions, hostBytes}
+	drained map[int]bool
+	devices int
+	failOn  string // substring of the method name to fail
+	calls   []string
+}
+
+func newFakeHooks(devices int) *fakeHooks {
+	return &fakeHooks{
+		quotas:  make(map[string][2]uint64),
+		drained: make(map[int]bool),
+		devices: devices,
+	}
+}
+
+func (h *fakeHooks) fail(method string) error {
+	h.calls = append(h.calls, method)
+	if h.failOn != "" && strings.Contains(method, h.failOn) {
+		return fmt.Errorf("fakeHooks: %s failed", method)
+	}
+	return nil
+}
+
+func (h *fakeHooks) ApplyQuota(tenant string, maxSessions int, hostBytes uint64) error {
+	if err := h.fail("ApplyQuota"); err != nil {
+		return err
+	}
+	h.quotas[tenant] = [2]uint64{uint64(maxSessions), hostBytes}
+	return nil
+}
+
+func (h *fakeHooks) RemoveQuota(tenant string) error {
+	if err := h.fail("RemoveQuota"); err != nil {
+		return err
+	}
+	delete(h.quotas, tenant)
+	return nil
+}
+
+func (h *fakeHooks) DrainDevice(id int) error {
+	if err := h.fail("DrainDevice"); err != nil {
+		return err
+	}
+	h.drained[id] = true
+	return nil
+}
+
+func (h *fakeHooks) ReadmitDevice(id int) error {
+	if err := h.fail("ReadmitDevice"); err != nil {
+		return err
+	}
+	delete(h.drained, id)
+	return nil
+}
+
+func (h *fakeHooks) DeviceCount() int { return h.devices }
+
+func newTestManager(t *testing.T, dir string, hooks Hooks, opts ManagerOptions) *Manager {
+	t.Helper()
+	s := mustOpenStore(t, dir, Options{})
+	t.Cleanup(func() { s.Close() })
+	opts.Hooks = hooks
+	m := NewManager(s, opts)
+	if err := m.Resume(); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if err := m.SyncDevices(); err != nil {
+		t.Fatalf("SyncDevices: %v", err)
+	}
+	return m
+}
+
+// TestOpsLifecycle walks every mutation end to end: each must leave no
+// pending record behind and its state visible through the read API.
+func TestOpsLifecycle(t *testing.T) {
+	h := newFakeHooks(2)
+	m := newTestManager(t, t.TempDir(), h, ManagerOptions{})
+
+	if _, err := m.CreateTenant("acme"); err != nil {
+		t.Fatalf("CreateTenant: %v", err)
+	}
+	if _, err := m.CreateTenant("acme"); err == nil {
+		t.Fatal("duplicate CreateTenant succeeded")
+	}
+	if _, err := m.SetQuota("acme", Quota{MaxSessions: 4, HostBytes: 1 << 20}); err != nil {
+		t.Fatalf("SetQuota: %v", err)
+	}
+	if got := h.quotas["acme"]; got != [2]uint64{4, 1 << 20} {
+		t.Fatalf("hooks quota = %v", got)
+	}
+	if err := m.DrainDevice(0); err != nil {
+		t.Fatalf("DrainDevice: %v", err)
+	}
+	if err := m.DrainDevice(0); err == nil {
+		t.Fatal("draining a drained device succeeded")
+	}
+	if !h.drained[0] {
+		t.Fatal("hooks never drained device 0")
+	}
+	if err := m.ReadmitDevice(0); err != nil {
+		t.Fatalf("ReadmitDevice: %v", err)
+	}
+	if h.drained[0] {
+		t.Fatal("hooks still consider device 0 drained")
+	}
+	if err := m.DeleteTenant("acme"); err != nil {
+		t.Fatalf("DeleteTenant: %v", err)
+	}
+	if _, ok := h.quotas["acme"]; ok {
+		t.Fatal("quota enforcement survived tenant delete")
+	}
+	if _, ok := m.GetTenant("acme"); ok {
+		t.Fatal("tenant record survived delete")
+	}
+	if _, ok := m.GetQuota("acme"); ok {
+		t.Fatal("quota record survived tenant delete")
+	}
+	if ops := m.Ops(); len(ops) != 0 {
+		t.Fatalf("pending ops after clean run: %+v", ops)
+	}
+	c := m.CountersSnapshot()
+	if c.Started != 5 || c.Completed != 5 || c.RolledBack != 0 || c.Stuck != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+// TestOpsHookFailureRollsBack checks the live (non-crash) failure path:
+// a hook error aborts the op, rolls back, and leaves nothing pending.
+func TestOpsHookFailureRollsBack(t *testing.T) {
+	h := newFakeHooks(1)
+	m := newTestManager(t, t.TempDir(), h, ManagerOptions{})
+	if _, err := m.CreateTenant("acme"); err != nil {
+		t.Fatal(err)
+	}
+	h.failOn = "ApplyQuota"
+	if _, err := m.SetQuota("acme", Quota{MaxSessions: 4}); err == nil {
+		t.Fatal("SetQuota succeeded despite hook failure")
+	}
+	if ops := m.Ops(); len(ops) != 0 {
+		t.Fatalf("aborted op left pending: %+v", ops)
+	}
+	if _, ok := m.GetQuota("acme"); ok {
+		t.Fatal("failed SetQuota committed a quota record")
+	}
+	if got := m.CountersSnapshot().RolledBack; got != 1 {
+		t.Fatalf("rolledBack = %d, want 1", got)
+	}
+}
+
+// opCrashManager builds a manager whose per-step crash point panics at
+// the nth boundary, simulating a SIGKILL mid-mutation.
+func opCrashManager(t *testing.T, dir string, hooks Hooks, nth uint64) *Manager {
+	t.Helper()
+	s := mustOpenStore(t, dir, Options{})
+	t.Cleanup(func() { s.Close() })
+	m := NewManager(s, ManagerOptions{
+		Hooks: hooks,
+		Faults: faultinject.New(faultinject.Plan{
+			Name: "op-crash",
+			Rules: []faultinject.Rule{{
+				Point: faultinject.PointCtrlOpStep, AtNth: nth, Action: faultinject.ActCrash,
+			}},
+		}),
+		OnCrash: func() { panic(storeCrashSentinel{}) },
+	})
+	if err := m.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDevices(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// simulateOpCrash catches the sentinel panic from an armed op-step
+// crash point; the manager is abandoned (its mutex died with the
+// "process") but the store remains reopenable.
+func simulateOpCrash(t *testing.T, fn func()) (crashed bool) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(storeCrashSentinel); !ok {
+			panic(r)
+		}
+		crashed = true
+	}()
+	fn()
+	return false
+}
+
+// TestOpsResumeForward crashes a quota-set after its intent was
+// recorded: a fresh manager's Resume must drive it to completion, the
+// quota applied to hooks and store both.
+func TestOpsResumeForward(t *testing.T) {
+	dir := t.TempDir()
+	h := newFakeHooks(1)
+	// CreateTenant consumes step boundaries 1-2; boundary 3 is SetQuota's
+	// "intent recorded, nothing applied".
+	m := opCrashManager(t, dir, h, 3)
+	if _, err := m.CreateTenant("acme"); err != nil {
+		t.Fatal(err)
+	}
+	if !simulateOpCrash(t, func() {
+		m.SetQuota("acme", Quota{MaxSessions: 4, HostBytes: 1 << 20})
+	}) {
+		t.Fatal("op-step crash point did not fire")
+	}
+	m.Store().Close()
+
+	h2 := newFakeHooks(1)
+	m2 := newTestManager(t, dir, h2, ManagerOptions{})
+	if ops := m2.Ops(); len(ops) != 0 {
+		t.Fatalf("ops pending after resume: %+v", ops)
+	}
+	q, ok := m2.GetQuota("acme")
+	if !ok || q.MaxSessions != 4 || q.HostBytes != 1<<20 {
+		t.Fatalf("resumed quota = %+v, ok=%v", q, ok)
+	}
+	if got := h2.quotas["acme"]; got != [2]uint64{4, 1 << 20} {
+		t.Fatalf("resumed quota not applied to hooks: %v", got)
+	}
+	if got := m2.CountersSnapshot().Resumed; got != 1 {
+		t.Fatalf("resumed counter = %d, want 1", got)
+	}
+}
+
+// TestOpsRollbackTenantCreate crashes a tenant-create after its intent
+// was recorded: the client never saw an ack, so Resume must roll it
+// back and the tenant must not exist.
+func TestOpsRollbackTenantCreate(t *testing.T) {
+	dir := t.TempDir()
+	m := opCrashManager(t, dir, newFakeHooks(1), 1)
+	if !simulateOpCrash(t, func() { m.CreateTenant("ghost") }) {
+		t.Fatal("op-step crash point did not fire")
+	}
+	m.Store().Close()
+
+	m2 := newTestManager(t, dir, newFakeHooks(1), ManagerOptions{})
+	if ops := m2.Ops(); len(ops) != 0 {
+		t.Fatalf("ops pending after resume: %+v", ops)
+	}
+	if _, ok := m2.GetTenant("ghost"); ok {
+		t.Fatal("unacknowledged tenant-create survived rollback")
+	}
+	if got := m2.CountersSnapshot().RolledBack; got != 1 {
+		t.Fatalf("rolledBack counter = %d, want 1", got)
+	}
+}
+
+// TestOpsStuckAndCleanup crashes a drain mid-flight, reboots with
+// resume disabled (the operator-inspection path): the op must surface
+// as stuck with the device quarantined in "draining", and CleanupOps
+// must roll it back to active.
+func TestOpsStuckAndCleanup(t *testing.T) {
+	dir := t.TempDir()
+	h := newFakeHooks(1)
+	m := opCrashManager(t, dir, h, 2) // boundary: hook ran, record still "draining"
+	if !simulateOpCrash(t, func() { m.DrainDevice(0) }) {
+		t.Fatal("op-step crash point did not fire")
+	}
+	m.Store().Close()
+
+	h2 := newFakeHooks(1)
+	m2 := newTestManager(t, dir, h2, ManagerOptions{DisableResume: true})
+	ops := m2.Ops()
+	if len(ops) != 1 || ops[0].State != StateStuck || ops[0].Kind != OpDeviceDrain {
+		t.Fatalf("ops after resume-disabled boot: %+v", ops)
+	}
+	if ops[0].Err == "" {
+		t.Fatal("stuck op carries no reason")
+	}
+	devs := m2.Devices()
+	if len(devs) != 1 || devs[0].State != DeviceDraining {
+		t.Fatalf("device not quarantined draining: %+v", devs)
+	}
+
+	n, err := m2.CleanupOps()
+	if err != nil || n != 1 {
+		t.Fatalf("CleanupOps = %d, %v", n, err)
+	}
+	if ops := m2.Ops(); len(ops) != 0 {
+		t.Fatalf("ops after cleanup: %+v", ops)
+	}
+	devs = m2.Devices()
+	if len(devs) != 1 || devs[0].State != DeviceActive {
+		t.Fatalf("device after cleanup rollback: %+v", devs)
+	}
+	if h2.drained[0] {
+		t.Fatal("cleanup did not readmit the device on the runtime")
+	}
+	c := m2.CountersSnapshot()
+	if c.Stuck != 1 || c.Cleaned != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+// TestOpsConcurrentMutations hammers one device and one tenant from
+// many goroutines. The fake hooks are deliberately unsynchronized:
+// under -race this fails unless the Manager serialises every mutation.
+// Afterwards the store must hold a consistent terminal state.
+func TestOpsConcurrentMutations(t *testing.T) {
+	h := newFakeHooks(1)
+	m := newTestManager(t, t.TempDir(), h, ManagerOptions{})
+	if _, err := m.CreateTenant("acme"); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 8; k++ {
+				v := i*8 + k + 1
+				if _, err := m.SetQuota("acme", Quota{
+					MaxSessions: v, HostBytes: uint64(v) << 10,
+				}); err != nil {
+					t.Errorf("SetQuota: %v", err)
+				}
+			}
+		}(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 8; k++ {
+				// Drain and readmit race with each other; losing the state
+				// precondition ("is drained, not active") is expected, any
+				// other error is not.
+				if err := m.DrainDevice(0); err != nil && !strings.Contains(err.Error(), "not active") {
+					t.Errorf("DrainDevice: %v", err)
+				}
+				if err := m.ReadmitDevice(0); err != nil && !strings.Contains(err.Error(), "not drained") {
+					t.Errorf("ReadmitDevice: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if ops := m.Ops(); len(ops) != 0 {
+		t.Fatalf("pending ops after storm: %+v", ops)
+	}
+	q, ok := m.GetQuota("acme")
+	if !ok {
+		t.Fatal("quota lost in storm")
+	}
+	if q.HostBytes != uint64(q.MaxSessions)<<10 {
+		t.Fatalf("HALF-APPLIED quota: %+v", q)
+	}
+	devs := m.Devices()
+	if len(devs) != 1 || (devs[0].State != DeviceActive && devs[0].State != DeviceDrained) {
+		t.Fatalf("device in bad terminal state: %+v", devs)
+	}
+	// The store's view and the runtime's must agree.
+	if (devs[0].State == DeviceDrained) != h.drained[0] {
+		t.Fatalf("store says %s, hooks say drained=%v", devs[0].State, h.drained[0])
+	}
+}

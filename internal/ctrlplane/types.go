@@ -1,0 +1,167 @@
+package ctrlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Key space. Every resource lives under a typed prefix so List(prefix)
+// enumerates one resource class. Values are JSON: the store is an
+// operator-facing source of truth and its contents must be readable
+// with nothing but a hex dump.
+const (
+	KeyTenantPrefix = "tenant/"
+	KeyQuotaPrefix  = "quota/"
+	KeyDevicePrefix = "device/"
+	KeyNodePrefix   = "node/"
+	KeyOpPrefix     = "op/"
+)
+
+// TenantKey returns the store key for a tenant record.
+func TenantKey(name string) string { return KeyTenantPrefix + name }
+
+// QuotaKey returns the store key for a tenant's quota record.
+func QuotaKey(tenant string) string { return KeyQuotaPrefix + tenant }
+
+// DeviceKey returns the store key for a device record.
+func DeviceKey(id int) string { return fmt.Sprintf("%s%d", KeyDevicePrefix, id) }
+
+// NodeKey returns the store key for a node record.
+func NodeKey(name string) string { return KeyNodePrefix + name }
+
+// OpKey returns the store key for a pending operation. IDs are
+// fixed-width hex so lexical order is creation order.
+func OpKey(id uint64) string { return fmt.Sprintf("%s%016x", KeyOpPrefix, id) }
+
+// ParseOpKey recovers the operation ID from its store key.
+func ParseOpKey(key string) (uint64, bool) {
+	hex, ok := strings.CutPrefix(key, KeyOpPrefix)
+	if !ok {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// Tenant is a registered tenant.
+type Tenant struct {
+	Name string `json:"name"`
+	// CreatedSeq is the store sequence at which the tenant was created,
+	// a logical timestamp (the store has no wall clock).
+	CreatedSeq uint64 `json:"created_seq"`
+}
+
+// Quota bounds a tenant's resource consumption. Zero fields are
+// unlimited.
+type Quota struct {
+	Tenant string `json:"tenant"`
+	// MaxSessions caps concurrently admitted sessions for the tenant.
+	MaxSessions int `json:"max_sessions"`
+	// HostBytes caps the tenant's aggregate allocated bytes across all
+	// its sessions (enforced on the memmgr Malloc path).
+	HostBytes uint64 `json:"host_bytes"`
+}
+
+// Device lifecycle states.
+const (
+	// DeviceActive: serving vGPUs.
+	DeviceActive = "active"
+	// DeviceDraining: a drain operation is in flight — sessions are
+	// being evacuated. Only observable while the op is pending.
+	DeviceDraining = "draining"
+	// DeviceDrained: removed from scheduling, sessions evacuated.
+	DeviceDrained = "drained"
+)
+
+// DeviceRec is a device membership record.
+type DeviceRec struct {
+	ID    int    `json:"id"`
+	State string `json:"state"`
+}
+
+// NodeRec is a node membership record.
+type NodeRec struct {
+	Name string `json:"name"`
+	// Devices is the node's device count at registration.
+	Devices int `json:"devices"`
+}
+
+// Operation kinds.
+const (
+	OpTenantCreate  = "tenant-create"
+	OpTenantDelete  = "tenant-delete"
+	OpQuotaSet      = "quota-set"
+	OpDeviceDrain   = "device-drain"
+	OpDeviceReadmit = "device-readmit"
+)
+
+// Operation states.
+const (
+	// StatePending: recorded, executing (or interrupted mid-execution
+	// and awaiting boot-time resolution).
+	StatePending = "pending"
+	// StateStuck: boot-time resolution failed or was disabled; the
+	// operation holds its resources quarantined until an operator
+	// cleans it up via the REST cleanup endpoint.
+	StateStuck = "stuck"
+)
+
+// Op is a journaled pending operation: the durable intent record
+// written BEFORE any side effect, updated after each idempotent step,
+// and deleted in the same transaction that commits the final state.
+// Its presence in the store is the definition of "in flight": boot
+// finding one means the daemon died mid-mutation and must resume or
+// roll back (see Manager.Resume).
+type Op struct {
+	ID    uint64 `json:"id"`
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+	// Step is the index of the next step to execute; steps already
+	// executed are idempotent so resuming re-runs from 0 harmlessly,
+	// but the count shows progress under /ops.
+	Step int `json:"step"`
+	// Seq is the store sequence at which the op was recorded.
+	Seq uint64 `json:"seq"`
+
+	// Subject fields; which are set depends on Kind.
+	Tenant string `json:"tenant,omitempty"`
+	Device int    `json:"device,omitempty"`
+	// Quota is the target quota for quota-set.
+	Quota *Quota `json:"quota,omitempty"`
+
+	// Rollback state captured when the op was recorded: what to restore
+	// if the op is rolled back instead of resumed.
+	PrevQuota *Quota `json:"prev_quota,omitempty"`
+	// PrevTenantExists records whether the tenant existed before a
+	// create/delete, so rollback knows to restore or remove it.
+	PrevTenantExists bool `json:"prev_tenant_exists,omitempty"`
+	// PrevDeviceState is the device state before drain/readmit.
+	PrevDeviceState string `json:"prev_device_state,omitempty"`
+
+	// Err, on a stuck op, records why resolution failed.
+	Err string `json:"err,omitempty"`
+}
+
+// encodeJSON marshals a record value for the store.
+func encodeJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// All record types marshal by construction; this is a
+		// programming error, not a data error.
+		panic(fmt.Sprintf("ctrlplane: marshal %T: %v", v, err))
+	}
+	return b
+}
+
+// decodeJSON unmarshals a record value read back from the store.
+func decodeJSON(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("ctrlplane: record %T corrupt: %w", v, err)
+	}
+	return nil
+}

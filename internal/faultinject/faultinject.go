@@ -87,6 +87,23 @@ const (
 	// frame received. ActCrash kills the target mid-import, leaving a
 	// pending-operation record that recovery must resolve.
 	PointMigrateImport Point = "failover.import"
+	// PointStorePreSync fires in the control-plane store after a commit
+	// frame's bytes reached the OS but before fsync: a crash here may
+	// leave a torn tail that recovery must truncate.
+	PointStorePreSync Point = "ctrlstore.presync"
+	// PointStorePostSync fires right after the store's fsync returned:
+	// a crash here loses no committed transaction.
+	PointStorePostSync Point = "ctrlstore.postsync"
+	// PointStoreCompact fires inside store snapshot compaction, once
+	// after the temporary snapshot is written and synced (before the
+	// atomic rename) and once after the rename (before the WAL
+	// truncates) — the same two boundaries as PointJournalCompact.
+	PointStoreCompact Point = "ctrlstore.compact"
+	// PointCtrlOpStep fires before every journaled step of a
+	// control-plane pending operation (begin, each advance, the final
+	// commit). ActCrash kills the daemon between steps, leaving a
+	// pending-op record that restart must resume or roll back.
+	PointCtrlOpStep Point = "ctrlplane.opstep"
 )
 
 // Action is what a fired rule does to the operation.

@@ -206,6 +206,15 @@ func (c *Client) SetAppID(id string) error {
 	return err
 }
 
+// SetTenant announces which tenant this thread belongs to, entering it
+// into the tenant's control-plane quotas (session cap immediately,
+// byte cap on every subsequent allocation). Fails with ErrQuotaExceeded
+// when the tenant's session cap is already full.
+func (c *Client) SetTenant(name string) error {
+	_, err := c.call(api.SetTenantCall{Tenant: name})
+	return err
+}
+
 // RegisterNested declares a nested data structure to the runtime (§1):
 // parent embeds, at offsets[i], the pointer to members[i]. Required for
 // kernels that traverse nested pointers.

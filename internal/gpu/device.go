@@ -156,6 +156,11 @@ func (d *Device) MarkRemoved() { d.removed.Store(true) }
 // Removed reports whether the device was administratively removed.
 func (d *Device) Removed() bool { return d.removed.Load() }
 
+// ClearRemoved undoes an administrative removal (control-plane
+// readmission): the device becomes usable again once any failed state
+// is also cleared with Restore.
+func (d *Device) ClearRemoved() { d.removed.Store(false) }
+
 // InstallFaults arms the device's injection sites against plane. Call it
 // before the device starts serving (NewDevice has no plane parameter so
 // un-faulted construction sites stay untouched). Hooks stay nil when the

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"gvrt/internal/api"
+	"gvrt/internal/ctrlplane"
 	"gvrt/internal/trace"
 )
 
@@ -64,6 +65,32 @@ func writeMetrics(w io.Writer, s api.RuntimeStats) {
 
 	writeDeviceMetrics(w, s.Devices)
 	writeHistograms(w, s.Histograms)
+}
+
+// writeCtrlMetrics renders the control plane's operation counters,
+// store counters, and the completed-operation duration histogram.
+func writeCtrlMetrics(w io.Writer, m *ctrlplane.Manager) {
+	oc := m.CountersSnapshot()
+	st := m.Store().Stats()
+	for _, c := range []counter{
+		{"ctrl_ops_started_total", "Control-plane operations recorded.", oc.Started},
+		{"ctrl_ops_completed_total", "Control-plane operations fully applied.", oc.Completed},
+		{"ctrl_ops_resumed_total", "Interrupted operations resumed to completion at boot.", oc.Resumed},
+		{"ctrl_ops_rolled_back_total", "Interrupted operations rolled back.", oc.RolledBack},
+		{"ctrl_ops_stuck_total", "Operations quarantined awaiting operator cleanup.", oc.Stuck},
+		{"ctrl_ops_cleaned_total", "Stuck operations force-rolled-back via the cleanup endpoint.", oc.Cleaned},
+		{"ctrl_store_commits_total", "Control-plane store transactions committed.", st.Commits},
+		{"ctrl_store_syncs_total", "Control-plane store fsync barriers.", st.Syncs},
+		{"ctrl_store_compactions_total", "Control-plane store snapshot compactions.", st.Compactions},
+		{"ctrl_store_quarantined_total", "Store records quarantined during recovery (payload CRC).", st.Quarantined},
+	} {
+		name := "gvrt_" + c.name
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, c.help, name, name, c.value)
+	}
+	writeGauge(w, "gvrt_ctrl_store_keys", "Keys held in the control-plane store.", float64(st.Keys))
+	writeGauge(w, "gvrt_ctrl_ops_pending", "Operations currently pending or stuck.", float64(len(m.Ops())))
+	fmt.Fprintf(w, "# HELP gvrt_ctrl_op_duration_seconds Completed control-plane operation duration (seconds).\n# TYPE gvrt_ctrl_op_duration_seconds histogram\n")
+	writeHist(w, "gvrt_ctrl_op_duration_seconds", "", m.OpDurations(), 1e9)
 }
 
 func writeGauge(w io.Writer, name, help string, v float64) {

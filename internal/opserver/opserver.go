@@ -9,6 +9,7 @@
 package opserver
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -17,12 +18,14 @@ import (
 	"time"
 
 	"gvrt/internal/api"
+	"gvrt/internal/ctrlplane"
 	"gvrt/internal/trace"
 )
 
 // Source is the slice of a runtime the operator plane reads. Stats is
 // required; the rest degrade gracefully (nil Trace serves empty
-// /tracez and /trace.json, nil Now omits model uptime).
+// /tracez and /trace.json, nil Now omits model uptime, nil Ctrl omits
+// the control-plane REST resources).
 type Source struct {
 	// Stats returns the node's metrics snapshot (Runtime.StatsSnapshot).
 	Stats func() api.RuntimeStats
@@ -32,6 +35,13 @@ type Source struct {
 	Now func() time.Duration
 	// Name labels the process in trace exports (default "gvrtd").
 	Name string
+	// Ctrl is the node's control plane; when set, its REST resources
+	// (/tenants, /quotas, /devices, /ops, /events) are mounted and
+	// /healthz includes store health.
+	Ctrl *ctrlplane.Manager
+	// JournalHealthy reports whether the checkpoint journal can still
+	// persist commits; nil means "no journal attached" (healthy).
+	JournalHealthy func() bool
 }
 
 // Handler builds the operator-plane HTTP handler.
@@ -51,11 +61,33 @@ func Handler(src Source) http.Handler {
 		fmt.Fprintln(w, "  /statusz      node status: devices, queue, counters")
 		fmt.Fprintln(w, "  /tracez       slowest recent spans (?n=100)")
 		fmt.Fprintln(w, "  /trace.json   Chrome trace-event export (load in Perfetto)")
+		fmt.Fprintln(w, "  /healthz      readiness probe (JSON)")
 		fmt.Fprintln(w, "  /debug/pprof  Go profiler")
+		if src.Ctrl != nil {
+			fmt.Fprintln(w, "\ncontrol plane:")
+			fmt.Fprintln(w, "  /tenants      tenant registry (GET list, POST create, DELETE one)")
+			fmt.Fprintln(w, "  /quotas       tenant quotas (GET list, PUT /quotas/{tenant})")
+			fmt.Fprintln(w, "  /devices      device membership (POST /devices/{id}/drain|readmit)")
+			fmt.Fprintln(w, "  /ops          pending/stuck operations (POST /ops/cleanup)")
+			fmt.Fprintln(w, "  /events       SSE stream of store commits")
+		}
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeHealthz(w, src)
+	})
+	if src.Ctrl != nil {
+		rest := ctrlplane.RESTHandler(src.Ctrl)
+		for _, p := range []string{"/tenants", "/tenants/", "/quotas", "/quotas/",
+			"/devices", "/devices/", "/ops", "/ops/", "/events"} {
+			mux.Handle(p, rest)
+		}
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writeMetrics(w, src.Stats())
+		if src.Ctrl != nil {
+			writeCtrlMetrics(w, src.Ctrl)
+		}
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -83,6 +115,43 @@ func Handler(src Source) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// writeHealthz answers the readiness probe: 200 with a JSON summary
+// when the node can take work — control-plane store committing (when
+// one is attached), checkpoint journal writable (when attached), and
+// at least one healthy device — 503 otherwise. Load balancers and the
+// CI smoke jobs key off the status code; the body says which leg failed.
+func writeHealthz(w http.ResponseWriter, src Source) {
+	s := src.Stats()
+	healthyDevs := 0
+	for _, d := range s.Devices {
+		if d.Healthy {
+			healthyDevs++
+		}
+	}
+	storeOK := true
+	if src.Ctrl != nil {
+		storeOK = src.Ctrl.Store().Healthy()
+	}
+	journalOK := src.JournalHealthy == nil || src.JournalHealthy()
+	ready := storeOK && journalOK && healthyDevs > 0
+
+	resp := map[string]any{
+		"ready":           ready,
+		"store_ok":        storeOK,
+		"journal_ok":      journalOK,
+		"devices_healthy": healthyDevs,
+		"devices_total":   len(s.Devices),
+	}
+	if src.Ctrl != nil {
+		resp["pending_ops"] = len(src.Ctrl.Ops())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(resp)
 }
 
 // writeStatusz renders the human status page.

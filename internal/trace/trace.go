@@ -55,6 +55,10 @@ const (
 	// (export shipped, import committed, or failover promotion) —
 	// distinct from KindMigration, the intra-node device re-binding.
 	KindCrossMigration
+	// KindCtrlOp is a control-plane pending-operation transition
+	// (started, completed, resumed, rolled back, stuck); Detail carries
+	// the operation kind and outcome.
+	KindCtrlOp
 )
 
 var kindNames = [...]string{
@@ -74,6 +78,7 @@ var kindNames = [...]string{
 	KindExit:           "exit",
 	KindFence:          "fence",
 	KindCrossMigration: "cross-migration",
+	KindCtrlOp:         "ctrl-op",
 }
 
 // String implements fmt.Stringer.
