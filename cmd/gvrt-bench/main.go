@@ -71,6 +71,8 @@ func main() {
 		validate = flag.String("validate", "", "validate this report file and exit")
 		hist     = flag.Bool("hist", false, "dump swap-path histogram quantiles to stderr")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the scenario runs to this file")
+		attrGate = flag.Bool("attr-gate", false, "attribution overhead gate: run swap-pressure and multi-device twice (sessions joined to tenants vs not), best of 3 each, and fail if attribution costs more than 1-attr-min-ratio of calls/sec")
+		attrMin  = flag.Float64("attr-min-ratio", 0.98, "minimum attributed/plain calls-per-sec ratio for -attr-gate")
 	)
 	flag.Parse()
 	dumpHist = *hist
@@ -89,6 +91,10 @@ func main() {
 	}
 	if *sessions > 0 {
 		sz.sessions = *sessions
+	}
+
+	if *attrGate {
+		os.Exit(runAttrGate(sz, *attrMin))
 	}
 
 	type scenarioFn struct {
@@ -168,6 +174,62 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
+// runAttrGate is the attribution overhead gate: the swap-pressure and
+// multi-device scenarios run as an in-process A/B — every session
+// joined to one of two tenants (full attribution: counters, histograms
+// and the ctx→bundle binding on every launch) versus plain tenantless
+// sessions — interleaved, best wall-clock of 5 runs per side. The gate
+// fails if the attributed side's calls/sec falls below minRatio of the
+// plain side's, i.e. if attribution costs more than (1-minRatio) of
+// dispatch throughput.
+func runAttrGate(sz sizes, minRatio float64) int {
+	type scen struct {
+		name string
+		run  func(sizes, int64) (benchfmt.Scenario, error)
+	}
+	scens := []scen{
+		{"swap-pressure", runSwapPressure},
+		{"multi-device", runMultiDevice},
+	}
+	const rounds = 5
+	code := 0
+	for _, sc := range scens {
+		best := map[bool]float64{}
+		// Interleave plain/attributed rounds so machine noise (turbo,
+		// page cache, co-tenants) hits both sides alike.
+		for r := 0; r < rounds; r++ {
+			for _, attributed := range []bool{false, true} {
+				gateTenants = 0
+				if attributed {
+					gateTenants = 2
+				}
+				s, err := sc.run(sz, 1)
+				gateTenants = 0
+				if err != nil {
+					fatalf("attr-gate %s (attributed=%v): %v", sc.name, attributed, err)
+				}
+				if s.CallsPerSec > best[attributed] {
+					best[attributed] = s.CallsPerSec
+				}
+			}
+		}
+		ratio := best[true] / best[false]
+		fmt.Fprintf(os.Stderr,
+			"gvrt-bench: attr-gate %s: attributed %.0f vs plain %.0f calls/sec (ratio %.4f, floor %.4f)\n",
+			sc.name, best[true], best[false], ratio, minRatio)
+		if ratio < minRatio {
+			fmt.Fprintf(os.Stderr,
+				"gvrt-bench: attr-gate FAIL: %s attribution costs %.2f%% of throughput (budget %.2f%%)\n",
+				sc.name, (1-ratio)*100, (1-minRatio)*100)
+			code = 1
+		}
+	}
+	if code == 0 {
+		fmt.Fprintf(os.Stderr, "gvrt-bench: attr-gate passed: per-tenant attribution within budget on both scenarios\n")
+	}
+	return code
+}
+
 // node bundles one freshly built simulated node.
 type node struct {
 	clock *sim.Clock
@@ -221,12 +283,32 @@ func fill(s *benchfmt.Scenario, t *trace.Timings, scale float64) {
 	s.BindWaitP50US, s.BindWaitP99US = quantilesUS(t.BindWait.Snapshot(), scale)
 }
 
+// gateTenants, when positive, makes every bench session join tenant
+// "tenant<i mod gateTenants>" — the attributed side of the -attr-gate
+// A/B comparison. Zero (the default) keeps sessions tenantless, which
+// is the hot path every other scenario measures.
+var gateTenants int
+
+// tenantFor maps a session index to its -attr-gate tenant ("" = none).
+func tenantFor(i int) string {
+	if gateTenants <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("tenant%d", i%gateTenants)
+}
+
 // session runs one synthetic client lifecycle: register, allocate two
-// buffers, iters rounds of h2d + launch, then free and exit.
-func session(c *frontend.Client, iters int, bufBytes uint64) error {
+// buffers, iters rounds of h2d + launch, then free and exit. A
+// non-empty tenant joins the session to it first (attribution on).
+func session(c *frontend.Client, iters int, bufBytes uint64, tenant string) error {
 	defer c.Close()
 	if err := c.RegisterFatBinary(benchBinary()); err != nil {
 		return err
+	}
+	if tenant != "" {
+		if err := c.SetTenant(tenant); err != nil {
+			return err
+		}
 	}
 	a, err := c.Malloc(bufBytes)
 	if err != nil {
@@ -274,7 +356,7 @@ func runMultiDevice(sz sizes, _ int64) (benchfmt.Scenario, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = session(n.client(), sz.iters, 256<<10)
+			errs[i] = session(n.client(), sz.iters, 256<<10, tenantFor(i))
 		}(i)
 	}
 	wg.Wait()
@@ -322,7 +404,7 @@ func runMultiNode(sz sizes, _ int64) (benchfmt.Scenario, error) {
 			defer wg.Done()
 			c, s := transport.Pipe()
 			go head.rt.HandleConn(s)
-			errs[i] = session(frontend.Connect(c), sz.iters, 256<<10)
+			errs[i] = session(frontend.Connect(c), sz.iters, 256<<10, tenantFor(i))
 		}(i)
 	}
 	wg.Wait()
@@ -348,10 +430,15 @@ func runMultiNode(sz sizes, _ int64) (benchfmt.Scenario, error) {
 // one set forces the runtime to evict (intra-application swap) the
 // whole other set, so swap traffic is deterministic — it does not
 // depend on catching a co-tenant in a CPU phase.
-func swapSession(c *frontend.Client, iters, setBufs int, bufBytes uint64) error {
+func swapSession(c *frontend.Client, iters, setBufs int, bufBytes uint64, tenant string) error {
 	defer c.Close()
 	if err := c.RegisterFatBinary(benchBinary()); err != nil {
 		return err
+	}
+	if tenant != "" {
+		if err := c.SetTenant(tenant); err != nil {
+			return err
+		}
 	}
 	var sets [2][]api.DevPtr
 	for s := range sets {
@@ -412,7 +499,7 @@ func runSwapPressure(sz sizes, _ int64) (benchfmt.Scenario, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = swapSession(n.client(), sz.swapIter, setBufs, buf)
+			errs[i] = swapSession(n.client(), sz.swapIter, setBufs, buf, tenantFor(i))
 		}(i)
 	}
 	wg.Wait()

@@ -200,13 +200,13 @@ func startCtrlChild(exe string, o ctrlChildOpts, timeout time.Duration) (*child,
 // response is written only after the terminal transaction is fsynced,
 // so an ack is a durability promise) versus merely issued.
 type ctrlTruth struct {
-	createIssued map[string]bool
-	createAcked  map[string]bool
-	quotaIssued  map[string][]int // update indices issued, in order
-	quotaAcked   map[string]int   // highest acknowledged update index
-	drainIssued, drainAcked     bool // device 0
-	readmitIssued, readmitAcked bool // device 0
-	deleteIssued, deleteAcked   bool // tenant t2
+	createIssued                map[string]bool
+	createAcked                 map[string]bool
+	quotaIssued                 map[string][]int // update indices issued, in order
+	quotaAcked                  map[string]int   // highest acknowledged update index
+	drainIssued, drainAcked     bool             // device 0
+	readmitIssued, readmitAcked bool             // device 0
+	deleteIssued, deleteAcked   bool             // tenant t2
 	// interrupted: a request died on the wire — the armed crash point
 	// killed the daemon mid-mutation, which is the event under test.
 	interrupted bool

@@ -8,16 +8,18 @@
 //   - source SIGKILLed mid-launch (an armed journal crash point): the
 //     target promotes every committed session straight from the dead
 //     node's journal directory and each one must resume intact;
+//
 //   - source SIGKILLed mid-transfer (armed migration-transfer crash): a
 //     recovered source retries the migration and the target's chunk
 //     spool resumes the transfer instead of restarting it;
+//
 //   - target SIGKILLed mid-import (armed migration-import crash): the
 //     restarted target aborts the pending import record at boot, the
 //     retry succeeds, and the deposed source fences a late write.
 //
-//	gvrt-chaos -failover                     # default 6 rounds
-//	gvrt-chaos -failover -failover-rounds 3  # CI smoke
-//	GVRT_CHAOS_SEED=7 gvrt-chaos -failover   # replay a seeded schedule
+//     gvrt-chaos -failover                     # default 6 rounds
+//     gvrt-chaos -failover -failover-rounds 3  # CI smoke
+//     GVRT_CHAOS_SEED=7 gvrt-chaos -failover   # replay a seeded schedule
 package main
 
 import (
@@ -100,9 +102,13 @@ func failoverRound(exe, root string, r int, srcPoint, dstPoint string, nth uint6
 	srcDir := filepath.Join(root, fmt.Sprintf("round%d-src", r))
 	dstDir := filepath.Join(root, fmt.Sprintf("round%d-dst", r))
 
+	// The armed victim always carries a flight recorder: every scenario
+	// verdict now includes "the SIGKILL'd node left a parseable black
+	// box" (the crash handler dumps it before the process dies).
 	dstOpts := childOpts{dir: dstDir, node: "dst", base: failoverSessionBase, migDir: dstDir}
 	if dstPoint != "" {
 		dstOpts.point, dstOpts.nth = dstPoint, nth
+		dstOpts.flight = dstDir
 	}
 	target, err := startChild(exe, dstOpts, timeout)
 	if err != nil {
@@ -113,6 +119,7 @@ func failoverRound(exe, root string, r int, srcPoint, dstPoint string, nth uint6
 	srcOpts := childOpts{dir: srcDir, node: "src"}
 	if srcPoint != "" {
 		srcOpts.point, srcOpts.nth = srcPoint, nth
+		srcOpts.flight = srcDir
 	}
 	source, err := startChild(exe, srcOpts, timeout)
 	if err != nil {
@@ -123,7 +130,10 @@ func failoverRound(exe, root string, r int, srcPoint, dstPoint string, nth uint6
 	recs := runWorkload(source.addr, rng, sessions, launches)
 
 	if srcPoint == string(gvrt.FaultJournalPreSync) {
-		return failoverPromotion(srcDir, source, target, recs, timeout)
+		if err := failoverPromotion(srcDir, source, target, recs, timeout); err != nil {
+			return err
+		}
+		return verifyFlightDump(srcDir, "src", 1)
 	}
 
 	// Migration scenarios: nothing was armed on the workload's path, so
@@ -138,9 +148,45 @@ func failoverRound(exe, root string, r int, srcPoint, dstPoint string, nth uint6
 		}
 	}
 	if srcPoint != "" {
-		return failoverMidTransfer(exe, srcDir, source, target, recs, timeout)
+		if err := failoverMidTransfer(exe, srcDir, source, target, recs, timeout); err != nil {
+			return err
+		}
+		return verifyFlightDump(srcDir, "src", 1)
 	}
-	return failoverMidImport(exe, dstDir, target, recs, timeout)
+	if err := failoverMidImport(exe, dstDir, target, recs, timeout); err != nil {
+		return err
+	}
+	// The target dies on its first migration frames; its call count at
+	// crash time is legitimately tiny, so only the parse is asserted.
+	return verifyFlightDump(dstDir, "dst", 0)
+}
+
+// verifyFlightDump is the flight-recorder half of a round's verdict:
+// the armed crash must have left a schema-valid black box for the
+// killed node, with at least minCalls served at crash time.
+func verifyFlightDump(dir, node string, minCalls int64) error {
+	path := filepath.Join(dir, "flight-"+node+".json")
+	d, err := gvrt.ReadFlightDump(path)
+	if err != nil {
+		return fmt.Errorf("flight post-mortem: %v", err)
+	}
+	if d.Node != node {
+		return fmt.Errorf("flight dump names node %q, want %q", d.Node, node)
+	}
+	if d.Reason != "crash-point" {
+		return fmt.Errorf("flight dump reason %q, want crash-point", d.Reason)
+	}
+	var calls int64
+	if d.Stats != nil {
+		calls = d.Stats.CallsServed
+	}
+	if calls < minCalls {
+		return fmt.Errorf("flight dump vacuous: %d calls served at crash time, want >= %d",
+			calls, minCalls)
+	}
+	fmt.Printf("  flight post-mortem: %s black box ok (%d ring records, %d calls at crash)\n",
+		node, len(d.Records), calls)
+	return nil
 }
 
 // failoverPromotion is the mid-launch scenario's takeover half: the

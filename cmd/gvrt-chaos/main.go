@@ -96,6 +96,8 @@ func main() {
 
 		ctrlMode   = flag.Bool("ctrlplane", false, "control-plane torture mode: SIGKILL a store-backed daemon mid-mutation at armed crash points and verify every REST mutation is fully applied or fully rolled back after restart")
 		ctrlRounds = flag.Int("ctrlplane-rounds", 5, "control-plane torture rounds (scenarios cycle: mid-op-step, pre-fsync, post-fsync, mid-compaction, stuck-ops + REST cleanup)")
+
+		flightRead = flag.String("flight-read", "", "post-mortem mode: read a flight-recorder dump (flight-<node>.json) and print the black-box ring, histogram deltas and final stats, then exit")
 	)
 	flag.Parse()
 
@@ -107,6 +109,9 @@ func main() {
 	if os.Getenv(envCtrlChild) == "1" {
 		ctrlChild()
 		return
+	}
+	if *flightRead != "" {
+		os.Exit(readFlight(*flightRead))
 	}
 	if *torture {
 		os.Exit(runTorture(*seed, *tortureRounds, *tortureSessions, *tortureLaunches, *timeout))

@@ -38,6 +38,7 @@ const (
 	envTortureNode   = "GVRT_TORTURE_NODE"   // node name for leases/migration ("" = no lease table)
 	envTortureBase   = "GVRT_TORTURE_BASE"   // SessionBase for locally-created contexts
 	envTortureMigDir = "GVRT_TORTURE_MIGDIR" // migration pending-op/spool directory
+	envTortureFlight = "GVRT_TORTURE_FLIGHT" // flight-recorder dump directory ("" = off)
 )
 
 // tortureChild is the daemon half: open (and recover) the journal, arm
@@ -59,9 +60,21 @@ func tortureChild() {
 			},
 		})
 	}
+	// The flight recorder makes every armed SIGKILL leave a post-mortem:
+	// WrapCrash dumps the black box to disk before the process dies.
+	var flight *gvrt.FlightRecorder
+	onCrash := gvrt.JournalDie
+	if fdir := os.Getenv(envTortureFlight); fdir != "" {
+		node := os.Getenv(envTortureNode)
+		if node == "" {
+			node = "torture"
+		}
+		flight = gvrt.NewFlightRecorder(node, fdir, 0)
+		onCrash = flight.WrapCrash(gvrt.JournalDie)
+	}
 	jnl, rec, err := gvrt.OpenJournal(dir, gvrt.JournalOptions{
 		Faults:  plane,
-		OnCrash: gvrt.JournalDie,
+		OnCrash: onCrash,
 		// Compact early and often so mid-compaction crash points are
 		// reachable within a short torture workload.
 		CompactBytes: 8 << 10,
@@ -87,6 +100,7 @@ func tortureChild() {
 		Faults:         plane,
 		NodeName:       os.Getenv(envTortureNode),
 		MigrateDir:     os.Getenv(envTortureMigDir),
+		Flight:         flight,
 	}
 	if b := os.Getenv(envTortureBase); b != "" {
 		if cfg.SessionBase, err = strconv.ParseInt(b, 10, 64); err != nil {
@@ -139,6 +153,7 @@ type childOpts struct {
 	node   string // node name ("" = plain crash-torture child)
 	base   int64  // SessionBase for locally-created contexts
 	migDir string // migration pending-op/spool directory
+	flight string // flight-recorder dump directory ("" = off)
 }
 
 // startChild re-execs this binary as a daemon child, arming crash
@@ -153,6 +168,7 @@ func startChild(exe string, o childOpts, timeout time.Duration) (*child, error) 
 		envTortureNode+"="+o.node,
 		envTortureBase+"="+strconv.FormatInt(o.base, 10),
 		envTortureMigDir+"="+o.migDir,
+		envTortureFlight+"="+o.flight,
 	)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()

@@ -36,6 +36,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed for -random")
 		cpuFrac = flag.Float64("cpufrac", 1, "CPU fraction for MM-S / MM-L")
 		scale   = flag.Float64("scale", 1e-3, "wall seconds per model second (must match the daemon)")
+		tenant  = flag.String("tenant", "", "attribute every session to this tenant")
 		stats   = flag.Bool("stats", false, "print the daemon's metrics snapshot and exit")
 		list    = flag.Bool("list", false, "list application names and exit")
 	)
@@ -110,7 +111,14 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		return gvrt.Connect(conn), nil
+		c := gvrt.Connect(conn)
+		if *tenant != "" {
+			if err := c.SetTenant(*tenant); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		return c, nil
 	})
 
 	for i, app := range apps {

@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -37,8 +38,14 @@ func main() {
 		once     = flag.Bool("once", false, "print one frame and exit (no screen clearing)")
 		count    = flag.Int("count", 0, "exit after this many frames (0 = run until interrupted)")
 		events   = flag.String("events", "", "operator-plane base URL (e.g. http://localhost:8080): watch its /events stream and refresh the instant the control plane commits a change, instead of waiting out the interval")
+		cl       = flag.String("cluster", "", "fleet mode: poll this operator-plane base URL's /cluster rollup (a gvrtd with -fleet) and render per-node and per-tenant views instead of one daemon's devices")
 	)
 	flag.Parse()
+
+	if *cl != "" {
+		runCluster(strings.TrimRight(*cl, "/"), *interval, *once, *count)
+		return
+	}
 
 	conn, err := gvrt.Dial(*addr)
 	if err != nil {
@@ -89,6 +96,136 @@ func main() {
 		case <-time.After(*interval):
 		}
 	}
+}
+
+// runCluster is the fleet dashboard loop: poll base/cluster (and
+// base/slo for burn-rate rows), render per-node and per-tenant rollups
+// with interval rates from the previous frame.
+func runCluster(base string, interval time.Duration, once bool, count int) {
+	var prev gvrt.ClusterStats
+	havePrev := false
+	frames := 0
+	for {
+		cs, err := fetchCluster(base)
+		if err != nil {
+			log.Fatalf("gvrt-top: %s/cluster: %v", base, err)
+		}
+		slo, _ := fetchSLO(base) // absent SLO engine is not an error
+		frame := renderCluster(base, cs, prev, havePrev, slo, interval)
+		if !once {
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		os.Stdout.WriteString(frame)
+		prev, havePrev = cs, true
+		frames++
+		if once || (count > 0 && frames >= count) {
+			return
+		}
+		time.Sleep(interval)
+	}
+}
+
+// fetchCluster pulls one fleet rollup from the operator plane.
+func fetchCluster(base string) (gvrt.ClusterStats, error) {
+	var cs gvrt.ClusterStats
+	resp, err := http.Get(base + "/cluster")
+	if err != nil {
+		return cs, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return cs, fmt.Errorf("status %s (is the daemon running with -fleet?)", resp.Status)
+	}
+	return cs, json.NewDecoder(resp.Body).Decode(&cs)
+}
+
+// fetchSLO pulls the evaluated SLO status rows, if the daemon runs an
+// engine (-store): an empty slice otherwise.
+func fetchSLO(base string) ([]gvrt.SLOStatus, error) {
+	resp, err := http.Get(base + "/slo")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	var rows []gvrt.SLOStatus
+	return rows, json.NewDecoder(resp.Body).Decode(&rows)
+}
+
+// renderCluster draws one fleet frame: node rows, merged tenant rows
+// with interval rates, and any evaluated SLO status. Pure function of
+// two snapshots, like render.
+func renderCluster(base string, cs, prev gvrt.ClusterStats, havePrev bool, slo []gvrt.SLOStatus, interval time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gvrt-top — cluster via %s — %s\n\n", base, time.Now().Format("15:04:05"))
+	fmt.Fprintf(&b, "nodes: %d reachable, %d unreachable\n", len(cs.Nodes), len(cs.Unreachable))
+	for name, why := range cs.Unreachable {
+		fmt.Fprintf(&b, "  UNREACHABLE %s: %s\n", name, why)
+	}
+	m := cs.Merged
+	fmt.Fprintf(&b, "merged: calls %d  contexts %d  swaps %d  swap %dMB  gpu %.2fs  migrations %d  sheds %d\n",
+		m.CallsServed, m.LiveContexts, m.SwapOps, m.SwapBytes>>20,
+		float64(m.GPUTimeNS)/1e9, m.Migrations, m.Sheds)
+
+	b.WriteString("\nNODE             CALLS   LAUNCH    GPU s  SWAP MB  QUEUE  CTX\n")
+	for _, name := range cs.NodeNames() {
+		ns := cs.Nodes[name]
+		fmt.Fprintf(&b, "%-14s %7d %8d %8.2f %8d %6d %4d\n",
+			name, ns.CallsServed, launches(ns), float64(ns.GPUTimeNS)/1e9,
+			ns.SwapBytes>>20, ns.QueueDepth, ns.LiveContexts)
+	}
+
+	if len(m.Tenants) > 0 {
+		b.WriteString("\nTENANT           SESS   CALLS   LAUNCH    GPU s  SWAP MB  LAUNCH p99")
+		if havePrev {
+			b.WriteString("   Δcalls/s  Δp99")
+		}
+		b.WriteByte('\n')
+		names := make([]string, 0, len(m.Tenants))
+		for t := range m.Tenants {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		for _, t := range names {
+			u := m.Tenants[t]
+			fmt.Fprintf(&b, "%-14s %6d %7d %8d %8.2f %8d %11s",
+				t, u.Sessions, u.Calls, u.Launches, float64(u.GPUTimeNS)/1e9,
+				u.SwapBytes>>20, time.Duration(u.Launch.Quantile(0.99)).String())
+			if havePrev {
+				pu := prev.Merged.Tenants[t]
+				secs := interval.Seconds()
+				if secs <= 0 {
+					secs = 1
+				}
+				d := u.Launch.Delta(pu.Launch)
+				dp99 := "-"
+				if d.Count > 0 {
+					dp99 = time.Duration(d.Quantile(0.99)).String()
+				}
+				fmt.Fprintf(&b, "   %8.1f %6s", float64(u.Calls-pu.Calls)/secs, dp99)
+			}
+			b.WriteByte('\n')
+		}
+	}
+
+	if len(slo) > 0 {
+		b.WriteString("\nSLO              KIND        OBJECTIVE  SHORT-BURN  LONG-BURN  STATE\n")
+		for _, s := range slo {
+			objective := fmt.Sprintf("%.4g", s.Objective)
+			if s.Kind == "launch_p99" {
+				objective = time.Duration(int64(s.Objective)).String()
+			}
+			state := "ok"
+			if s.Breaching {
+				state = "BREACHING"
+			}
+			fmt.Fprintf(&b, "%-14s %-14s %9s %11.2f %10.2f  %s\n",
+				s.Tenant, s.Kind, objective, s.ShortBurn, s.LongBurn, state)
+		}
+	}
+	return b.String()
 }
 
 // drainEvents empties buffered events, returning the newest.

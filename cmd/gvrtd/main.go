@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -96,6 +97,10 @@ func main() {
 		nodeName  = flag.String("node", "", "node name registered in the control-plane store (default the listen address)")
 		httpAddr  = flag.String("http", "", "HTTP operator plane address (/metrics, /statusz, /tracez, /trace.json, /debug/pprof); empty = off")
 		traceCap  = flag.Int("trace-buffer", 4096, "events/spans retained for the operator plane's trace views")
+		flightDir = flag.String("flight", "", "flight-recorder directory: the node's black-box ring is dumped here on panics, fence/breaker storms and armed crash points; empty = off")
+		flightInt = flag.Duration("flight-interval", 30*time.Second, "background flight-recorder flush interval, so even a SIGKILL'd node leaves a dump at most this old")
+		fleet     = flag.String("fleet", "", "comma-separated name=addr peer daemons to aggregate under /metrics?scope=cluster and /cluster")
+		sloTick   = flag.Duration("slo-interval", 2*time.Second, "SLO burn-rate evaluation interval (wall time; needs -store for the declared objectives)")
 		verbose   = flag.Bool("v", false, "log runtime events")
 	)
 	flag.Parse()
@@ -136,6 +141,29 @@ func main() {
 		cfg.Trace = gvrt.NewTraceRecorder(*traceCap)
 	}
 
+	name := *nodeName
+	if name == "" {
+		name = *listen
+	}
+
+	// Flight recorder (DESIGN.md §15): armed before the runtime boots so
+	// even the first cold-path event lands in the ring, and chained in
+	// front of the crash handler so an armed SIGKILL writes the black
+	// box to disk first.
+	var flight *gvrt.FlightRecorder
+	onCrash := gvrt.JournalDie
+	if *flightDir != "" {
+		flight = gvrt.NewFlightRecorder(name, *flightDir, 0)
+		cfg.Flight = flight
+		onCrash = flight.WrapCrash(gvrt.JournalDie)
+		defer func() {
+			if r := recover(); r != nil {
+				flight.Dump(fmt.Sprintf("panic: %v", r))
+				panic(r)
+			}
+		}()
+	}
+
 	node, err := gvrt.NewLocalNode(gvrt.NewClock(*scale), cfg, specs...)
 	if err != nil {
 		log.Fatalf("gvrtd: %v", err)
@@ -151,7 +179,7 @@ func main() {
 	if *journal != "" {
 		var rec *gvrt.JournalRecovered
 		jnl, rec, err = gvrt.OpenJournal(*journal, gvrt.JournalOptions{
-			OnCrash: gvrt.JournalDie,
+			OnCrash: onCrash,
 			Logf: func(format string, args ...any) {
 				log.Printf("gvrtd: journal: "+format, args...)
 			},
@@ -214,7 +242,7 @@ func main() {
 	var ctrlStore *gvrt.CtrlStore
 	if *storeDir != "" {
 		ctrlStore, err = gvrt.OpenCtrlStore(*storeDir, gvrt.CtrlStoreOptions{
-			OnCrash: gvrt.JournalDie,
+			OnCrash: onCrash,
 			Logf: func(format string, args ...any) {
 				log.Printf("gvrtd: store: "+format, args...)
 			},
@@ -227,7 +255,7 @@ func main() {
 		}
 		ctrl = gvrt.NewCtrlManager(ctrlStore, gvrt.CtrlManagerOptions{
 			Hooks:   node.RT,
-			OnCrash: gvrt.JournalDie,
+			OnCrash: onCrash,
 			Trace:   cfg.Trace,
 			Now:     node.RT.Clock().Now,
 			Logf: func(format string, args ...any) {
@@ -243,16 +271,87 @@ func main() {
 		if err := ctrl.ApplyStored(); err != nil {
 			log.Printf("gvrtd: re-applying stored control-plane state: %v", err)
 		}
-		name := *nodeName
-		if name == "" {
-			name = *listen
-		}
 		if err := ctrl.RegisterNode(name, node.RT.DeviceCount()); err != nil {
 			log.Printf("gvrtd: registering node: %v", err)
 		}
 		if ops := ctrl.Ops(); len(ops) > 0 {
 			log.Printf("gvrtd: %d control-plane operation(s) stuck; inspect /ops and POST /ops/cleanup", len(ops))
 		}
+	}
+
+	// Background observability loops stop when main returns; the flight
+	// recorder writes a final "shutdown" dump on the way out.
+	stop := make(chan struct{})
+	defer close(stop)
+	if flight != nil {
+		go flight.Run(*flightInt, stop)
+		fmt.Fprintf(os.Stderr, "gvrtd: flight recorder armed, dumps to %s\n", flight.Path())
+	}
+
+	// Fleet aggregation (DESIGN.md §15): a head-node collector over the
+	// local snapshot plus each -fleet peer, pulled on demand by
+	// /metrics?scope=cluster, /cluster and the cluster SLO rollup.
+	var collector *gvrt.FleetCollector
+	if *fleet != "" {
+		collector = gvrt.NewFleetCollector(name, node.RT.StatsSnapshot)
+		for _, p := range strings.Split(*fleet, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			peerName, addr, ok := strings.Cut(p, "=")
+			if !ok {
+				peerName, addr = p, p
+			}
+			collector.AddPeer(peerName, func() (gvrt.RuntimeStats, error) {
+				conn, err := gvrt.Dial(addr)
+				if err != nil {
+					return gvrt.RuntimeStats{}, err
+				}
+				c := gvrt.Connect(conn)
+				defer c.Close()
+				return c.Stats()
+			})
+		}
+		fmt.Fprintf(os.Stderr, "gvrtd: fleet aggregation over peers %v\n", collector.Peers())
+	}
+
+	// SLO burn-rate engine: objectives come from the control-plane store
+	// (PUT /slos/{tenant}); usage is the cluster rollup when a fleet is
+	// configured, node-local otherwise. Alert-state transitions ride the
+	// /events SSE stream as kind "slo" events.
+	var slo *gvrt.SLOEngine
+	if ctrl != nil {
+		usage := func() map[string]gvrt.TenantUsage { return node.RT.TenantAttribution() }
+		if collector != nil {
+			usage = func() map[string]gvrt.TenantUsage { return collector.Collect().Merged.Tenants }
+		}
+		slo = gvrt.NewSLOEngine(gvrt.SLOEngineOptions{
+			Objectives: func() []gvrt.SLOObjective {
+				recs := ctrl.SLOs()
+				objs := make([]gvrt.SLOObjective, len(recs))
+				for i, r := range recs {
+					objs[i] = gvrt.SLOObjective{
+						Tenant:        r.Tenant,
+						LaunchP99NS:   r.LaunchP99NS,
+						MaxErrorRatio: r.MaxErrorRatio,
+					}
+				}
+				return objs
+			},
+			Usage: usage,
+			Publish: func(ev gvrt.SLOEvent) {
+				detail, err := json.Marshal(ev)
+				if err != nil {
+					return
+				}
+				ctrlStore.Inject(gvrt.CtrlEvent{Kind: "slo", Detail: detail})
+				log.Printf("gvrtd: slo: tenant %s %s breaching=%v short=%.2f long=%.2f",
+					ev.Status.Tenant, ev.Status.Kind, ev.Status.Breaching,
+					ev.Status.ShortBurn, ev.Status.LongBurn)
+			},
+		})
+		go slo.Run(*sloTick, stop)
 	}
 
 	l, err := gvrt.Listen(*listen)
@@ -284,6 +383,8 @@ func main() {
 			Now:   node.RT.Clock().Now,
 			Name:  "gvrtd " + *listen,
 			Ctrl:  ctrl,
+			Fleet: collector,
+			SLO:   slo,
 		}
 		if jnl != nil {
 			src.JournalHealthy = jnl.Healthy
@@ -352,6 +453,13 @@ func main() {
 		if err := ctrlStore.Close(); err != nil {
 			log.Printf("gvrtd: closing store: %v", err)
 			code = 1
+		}
+	}
+	if flight != nil {
+		// os.Exit skips the deferred stop: write the final black box
+		// explicitly so the drain itself is post-mortem-visible.
+		if _, err := flight.Dump("shutdown"); err != nil {
+			log.Printf("gvrtd: flight shutdown dump: %v", err)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "gvrtd: drained, exiting\n")

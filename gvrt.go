@@ -57,6 +57,7 @@ import (
 	"gvrt/internal/frontend"
 	"gvrt/internal/gpu"
 	"gvrt/internal/memmgr"
+	"gvrt/internal/obs"
 	"gvrt/internal/opserver"
 	"gvrt/internal/resilience"
 	"gvrt/internal/sched"
@@ -266,6 +267,64 @@ func OpsHandlerFor(rt *Runtime, name string) http.Handler {
 	})
 }
 
+// Cluster-scoped observability (DESIGN.md §15): per-tenant attribution,
+// fleet-wide metric aggregation, SLO burn-rate evaluation and the
+// crash flight recorder.
+type (
+	// TenantUsage is one tenant's cumulative attributed usage on a
+	// node (RuntimeStats.Tenants values) or across a fleet merge.
+	TenantUsage = api.TenantUsage
+	// FleetCollector pulls peer stats snapshots and merges them into a
+	// cluster-scoped view.
+	FleetCollector = obs.Collector
+	// ClusterStats is one fleet collection: per-node snapshots, the
+	// merged rollup, and the peers that could not be reached.
+	ClusterStats = obs.ClusterStats
+	// SLOEngine evaluates per-tenant objectives as multi-window burn
+	// rates over usage snapshots.
+	SLOEngine = obs.SLOEngine
+	// SLOEngineOptions configures an SLOEngine.
+	SLOEngineOptions = obs.SLOEngineOptions
+	// SLOObjective is one tenant's service-level objective.
+	SLOObjective = obs.Objective
+	// SLOStatus is the evaluated state of one tenant/kind pair.
+	SLOStatus = obs.SLOStatus
+	// SLOEvent is published on alert-state transitions.
+	SLOEvent = obs.SLOEvent
+	// FlightRecorder is a node's bounded black-box event ring, dumped
+	// atomically on panics, fence/breaker storms and armed crashes.
+	FlightRecorder = obs.FlightRecorder
+	// FlightDump is one post-mortem dump a FlightRecorder wrote.
+	FlightDump = obs.FlightDump
+	// FlightRecord is one entry of a FlightDump's ring.
+	FlightRecord = obs.FlightRecord
+)
+
+// NewFleetCollector builds a collector over the local runtime's stats;
+// add peers with AddPeer. cluster.FleetCollector wires one up for an
+// in-process Head.
+func NewFleetCollector(self string, local func() RuntimeStats) *FleetCollector {
+	return obs.NewCollector(self, local)
+}
+
+// MergeRuntimeStats folds src's counters, histograms and tenant usage
+// into dst, returning the merge. Per-device rows are dropped — device
+// indexes are node-local and would collide.
+func MergeRuntimeStats(dst, src RuntimeStats) RuntimeStats { return obs.MergeStats(dst, src) }
+
+// NewSLOEngine builds a burn-rate engine; Objectives and Usage are
+// required.
+func NewSLOEngine(opts SLOEngineOptions) *SLOEngine { return obs.NewSLOEngine(opts) }
+
+// NewFlightRecorder builds a flight recorder for node, dumping into
+// dir; capacity <= 0 selects the default ring size.
+func NewFlightRecorder(node, dir string, capacity int) *FlightRecorder {
+	return obs.NewFlightRecorder(node, dir, capacity)
+}
+
+// ReadFlightDump loads and schema-checks a flight-recorder dump.
+func ReadFlightDump(path string) (*FlightDump, error) { return obs.ReadFlightDump(path) }
+
 // Fault-injection types: arm Config.Faults with a FaultPlane built from
 // a seeded FaultPlan and the runtime injects deterministic, replayable
 // faults at every layer (devices, swap area, dispatcher, cluster
@@ -417,6 +476,9 @@ type (
 	CtrlTenant = ctrlplane.Tenant
 	// CtrlQuota bounds a tenant's sessions and aggregate bytes.
 	CtrlQuota = ctrlplane.Quota
+	// CtrlSLO is one tenant's stored service-level objective record
+	// (the declarative half; obs.SLOEngine evaluates it).
+	CtrlSLO = ctrlplane.SLO
 	// CtrlDeviceRec is a device membership record.
 	CtrlDeviceRec = ctrlplane.DeviceRec
 	// CtrlEvent describes one store commit to an /events watcher.

@@ -30,15 +30,55 @@ type DeviceStats struct {
 	Capacity     uint64 `json:"capacity"`
 }
 
+// TenantUsage is the per-tenant slice of RuntimeStats: every counter a
+// multi-tenant operator needs to answer "which tenant is burning this
+// resource?". Counters mirror their runtime-wide siblings exactly (same
+// increment sites), so summing usage across tenants reproduces the
+// node totals for any work done inside a tenant-joined session — the
+// conservation property the cluster view is audited against.
+type TenantUsage struct {
+	// Sessions is the number of currently attached contexts.
+	Sessions int64 `json:"sessions"`
+	// Calls / Errors count calls served for the tenant's contexts and
+	// how many returned an error.
+	Calls  int64 `json:"calls"`
+	Errors int64 `json:"errors"`
+	// Launches counts kernel launches; GPUTimeNS is the modeled kernel
+	// execution time attributed to them.
+	Launches  int64 `json:"launches"`
+	GPUTimeNS int64 `json:"gpu_time_ns"`
+	// QueueWaitNS is total model time the tenant's calls spent parked
+	// waiting for a free vGPU.
+	QueueWaitNS int64 `json:"queue_wait_ns"`
+	// SwapBytes / SwapOps / CheckpointBytes / MigrationBytes /
+	// DedupSavedBytes attribute the memory plane: swap-out spills,
+	// checkpoint flushes, cross-node migration wire bytes, and host
+	// bytes avoided by dedup for images the tenant owns.
+	SwapBytes       int64 `json:"swap_bytes"`
+	SwapOps         int64 `json:"swap_ops"`
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	MigrationBytes  int64 `json:"migration_bytes"`
+	DedupSavedBytes int64 `json:"dedup_saved_bytes"`
+	// FenceRejections counts the tenant's mutating calls rejected with
+	// ErrFenced; QuotaRejects counts admissions and allocations the
+	// tenant's quota refused (the per-tenant face of load shedding).
+	FenceRejections int64 `json:"fence_rejections"`
+	QuotaRejects    int64 `json:"quota_rejects"`
+	// Launch / QueueWait are the tenant-scoped latency distributions
+	// (model-time nanoseconds), mergeable across nodes.
+	Launch    trace.HistSnapshot `json:"launch,omitempty"`
+	QueueWait trace.HistSnapshot `json:"queue_wait,omitempty"`
+}
+
 // RuntimeStats is the wire form of a runtime's metrics snapshot,
 // returned (JSON-encoded in Reply.Data) for a StatsCall.
 type RuntimeStats struct {
-	CallsServed    int64         `json:"calls_served"`
-	Binds          int64         `json:"binds"`
-	InterAppSwaps  int64         `json:"inter_app_swaps"`
-	IntraAppSwaps  int64         `json:"intra_app_swaps"`
-	SwapOps        int64         `json:"swap_ops"`
-	SwapBytes      int64         `json:"swap_bytes"`
+	CallsServed   int64 `json:"calls_served"`
+	Binds         int64 `json:"binds"`
+	InterAppSwaps int64 `json:"inter_app_swaps"`
+	IntraAppSwaps int64 `json:"intra_app_swaps"`
+	SwapOps       int64 `json:"swap_ops"`
+	SwapBytes     int64 `json:"swap_bytes"`
 	// CheckpointBytes counts device→swap bytes moved by checkpoint
 	// flushes; SwapBytes above counts only real swap-out spills.
 	CheckpointBytes int64 `json:"checkpoint_bytes"`
@@ -56,7 +96,7 @@ type RuntimeStats struct {
 	DedupHits       int64 `json:"dedup_hits"`
 	DedupSavedBytes int64 `json:"dedup_saved_bytes"`
 	CowBreaks       int64 `json:"cow_breaks"`
-	Migrations     int64         `json:"migrations"`
+	Migrations      int64 `json:"migrations"`
 	// MigrationsStarted / MigrationsCompleted / MigrationsAborted count
 	// cross-node context migrations (journaled image transfers plus
 	// failover promotions), as opposed to Migrations above, which counts
@@ -67,20 +107,26 @@ type RuntimeStats struct {
 	// FenceRejections counts mutating calls rejected with ErrFenced
 	// because the session's lease epoch moved; LeaseRenewals counts
 	// successful lease extensions piggybacked on served calls.
-	FenceRejections int64         `json:"fence_rejections"`
-	LeaseRenewals   int64         `json:"lease_renewals"`
-	Recoveries     int64         `json:"recoveries"`
-	Replays        int64         `json:"replays"`
-	DeviceFailures int64         `json:"device_failures"`
-	Offloaded      int64         `json:"offloaded"`
-	UnbindRetries  int64         `json:"unbind_retries"`
-	BreakerTrips   int64         `json:"breaker_trips"`
-	Readmissions   int64         `json:"readmissions"`
-	RetriesSpent   int64         `json:"retries_spent"`
-	Sheds          int64         `json:"sheds"`
-	QueueDepth     int           `json:"queue_depth"`
-	LiveContexts   int           `json:"live_contexts"`
-	Devices        []DeviceStats `json:"devices"`
+	FenceRejections int64 `json:"fence_rejections"`
+	LeaseRenewals   int64 `json:"lease_renewals"`
+	Recoveries      int64 `json:"recoveries"`
+	Replays         int64 `json:"replays"`
+	DeviceFailures  int64 `json:"device_failures"`
+	Offloaded       int64 `json:"offloaded"`
+	UnbindRetries   int64 `json:"unbind_retries"`
+	BreakerTrips    int64 `json:"breaker_trips"`
+	Readmissions    int64 `json:"readmissions"`
+	RetriesSpent    int64 `json:"retries_spent"`
+	Sheds           int64 `json:"sheds"`
+	// GPUTimeNS is total modeled kernel execution time across all
+	// contexts — the node-level total the per-tenant GPUTimeNS figures
+	// are conserved against.
+	GPUTimeNS    int64         `json:"gpu_time_ns"`
+	QueueDepth   int           `json:"queue_depth"`
+	LiveContexts int           `json:"live_contexts"`
+	Devices      []DeviceStats `json:"devices"`
+	// Tenants carries per-tenant attribution, keyed by tenant name.
+	Tenants map[string]TenantUsage `json:"tenants,omitempty"`
 	// Histograms carries latency/size distributions keyed by metric
 	// name ("launch_latency", "queue_wait", "call.cudaLaunch", ...).
 	// Values are model-time nanoseconds except journal_commit_wall

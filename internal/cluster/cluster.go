@@ -28,6 +28,7 @@ import (
 	"gvrt/internal/faultinject"
 	"gvrt/internal/frontend"
 	"gvrt/internal/gpu"
+	"gvrt/internal/obs"
 	"gvrt/internal/resilience"
 	"gvrt/internal/sim"
 	"gvrt/internal/transport"
@@ -366,12 +367,12 @@ func (n *Node) Connect() (workload.CUDA, error) {
 // before Close.
 func (n *Node) StartFailover(table *failover.Table, journalDirFor func(session int64) string) *failover.Monitor {
 	return failover.StartMonitor(failover.MonitorConfig{
-		Table:    table,
-		Owner:    n.RT.NodeName(),
-		Sleep:    n.clock.Sleep,
-		Limit:    resilience.NewBudget(DefaultMigrationStormCap, DefaultMigrationStormRefill, n.clock.Now),
-		Backoff:  resilience.NewBackoff(DefaultPromoteBackoffBase, DefaultPromoteBackoffCap, sim.NewRNG(1).Fork("failover/"+n.Name)),
-		Logf:     n.RT.Logf,
+		Table:   table,
+		Owner:   n.RT.NodeName(),
+		Sleep:   n.clock.Sleep,
+		Limit:   resilience.NewBudget(DefaultMigrationStormCap, DefaultMigrationStormRefill, n.clock.Now),
+		Backoff: resilience.NewBackoff(DefaultPromoteBackoffBase, DefaultPromoteBackoffCap, sim.NewRNG(1).Fork("failover/"+n.Name)),
+		Logf:    n.RT.Logf,
 		Promote: func(session int64) error {
 			dir := journalDirFor(session)
 			if dir == "" {
@@ -401,6 +402,35 @@ func (n *Node) Close() {
 	n.RT.Close()
 	n.wg.Wait()
 	n.probeWG.Wait()
+}
+
+// FleetCollector builds the cluster-scoped stats collector over a head
+// node: self's snapshot is read in-process, every peer is pulled over a
+// fresh client connection — the same StatsCall transport gvrt-top uses —
+// so aggregation needs no new wire protocol. Mount the result as the
+// opserver Source.Fleet on the head node to enable /metrics?scope=cluster.
+func FleetCollector(self *Node, peers ...*Node) *obs.Collector {
+	c := obs.NewCollector(self.Name, self.RT.StatsSnapshot)
+	for _, p := range peers {
+		if p == self {
+			continue
+		}
+		c.AddPeer(p.Name, func() (api.RuntimeStats, error) {
+			cl := frontend.Connect(p.Dial())
+			defer cl.Close()
+			return cl.Stats()
+		})
+	}
+	return c
+}
+
+// FleetCollector builds the head's cluster-wide collector, anchored on
+// its first node.
+func (h *Head) FleetCollector() *obs.Collector {
+	if len(h.nodes) == 0 {
+		return nil
+	}
+	return FleetCollector(h.nodes[0], h.nodes[1:]...)
 }
 
 // Head is the TORQUE-like cluster resource manager.

@@ -65,6 +65,11 @@ func (rt *Runtime) bindWait(ctx *Context) error {
 		}
 		waited := rt.clock.Now() - ctx.arrived
 		rt.timings.QueueWait.Observe(int64(waited))
+		if ctx.tm != nil {
+			// Safe: the dispatcher holds ctx.mu for the whole call, and
+			// tm only changes under ctx.mu. AddQueueWait is atomic adds.
+			ctx.tm.AddQueueWait(int64(waited))
+		}
 		qsp.end(-1, "", nil)
 		v := ctx.granted
 		ctx.granted = nil

@@ -9,6 +9,7 @@ import (
 
 	"gvrt/internal/api"
 	"gvrt/internal/memmgr"
+	"gvrt/internal/obs"
 	"gvrt/internal/sched"
 	"gvrt/internal/trace"
 	"gvrt/internal/transport"
@@ -57,6 +58,11 @@ type Context struct {
 	// against the tenant's byte quota (tenant.go).
 	tenant        string
 	tenantCharged uint64
+	// tm is the tenant's attribution bundle, cached at admission so
+	// hot-path attribution is a plain pointer read plus atomic adds —
+	// no map lookup, no lock (every reader holds ctx.mu, like the
+	// writer in joinTenant/leaveTenant). Nil until SetTenant.
+	tm *obs.TenantMetrics
 	// pinned marks contexts excluded from sharing and dynamic
 	// scheduling because their kernels allocate device memory
 	// dynamically (§1). Written by the owner, read by swap/migration
@@ -188,7 +194,11 @@ func (rt *Runtime) ServeLabeled(sc transport.ServerConn, label string) {
 			defer ctx.lastActiveNS.Store(int64(rt.clock.Now()))
 			ctx.curSpan = sp.id()
 			defer func() { ctx.curSpan = 0 }()
-			return rt.handle(ctx, call)
+			r := rt.handle(ctx, call)
+			if ctx.tm != nil {
+				ctx.tm.AddCall(r.Code != api.Success)
+			}
+			return r
 		}()
 		sp.end(-1, "", reply.Code.Err())
 		rt.timings.Call.Observe(call.CallName(), int64(rt.clock.Now()-served))

@@ -21,6 +21,9 @@ func (rt *Runtime) fence(ctx *Context) error {
 		// The session migrated away on this very connection; no table
 		// round trip can revive it.
 		rt.fenceRejections.Add(1)
+		if ctx.tm != nil {
+			ctx.tm.AddFenceRejection()
+		}
 		rt.event(trace.KindFence, ctx.id, 0, -1, "deposed by migration")
 		return api.ErrFenced
 	}
@@ -39,6 +42,9 @@ func (rt *Runtime) fence(ctx *Context) error {
 	renewed, err := t.Check(ctx.id, rt.cfg.node(), ctx.leaseEpoch.Load())
 	if err != nil {
 		rt.fenceRejections.Add(1)
+		if ctx.tm != nil {
+			ctx.tm.AddFenceRejection()
+		}
 		rt.logf("ctx %d: write fenced, lease lost (epoch %d)", ctx.id, ctx.leaseEpoch.Load())
 		rt.event(trace.KindFence, ctx.id, 0, -1, "lease lost")
 		return api.ErrFenced

@@ -19,7 +19,14 @@ import (
 func (rt *Runtime) launch(ctx *Context, call api.LaunchCall) error {
 	launchStart := rt.clock.Now()
 	defer func() {
-		rt.timings.Launch.Observe(int64(rt.clock.Now() - launchStart))
+		lat := int64(rt.clock.Now() - launchStart)
+		rt.timings.Launch.Observe(lat)
+		if ctx.tm != nil {
+			// gpuTimeNS was attributed at the Exec site; here the bundle
+			// gets only the end-to-end latency observation (caller holds
+			// ctx.mu; Observe is lock-free).
+			ctx.tm.Launch.Observe(lat)
+		}
 	}()
 	meta, _, err := ctx.findKernel(call.Kernel)
 	if err != nil {
@@ -130,6 +137,10 @@ func (rt *Runtime) launch(ctx *Context, call api.LaunchCall) error {
 
 		rt.mm.MarkKernelEffects(ptes, call.ReadOnly)
 		ctx.gpuTimeNS.Add(int64(kernelTime))
+		rt.gpuTimeNS.Add(int64(kernelTime))
+		if ctx.tm != nil {
+			ctx.tm.AddGPUTime(int64(kernelTime))
+		}
 		ctx.recordReplayResolved(call, ptes)
 
 		// Re-fence immediately before the commit: the kernel took model

@@ -145,6 +145,9 @@ func (rt *Runtime) migrateSession(ctx *Context, target string) (err error) {
 	rt.migCompleted.Add(1)
 	rt.timings.MigrationDur.Observe(int64(rt.clock.Now() - start))
 	rt.timings.MigrationBytes.Observe(shipped)
+	if ctx.tm != nil {
+		ctx.tm.AddMigrationBytes(shipped)
+	}
 	rt.event(trace.KindCrossMigration, ctx.id, 0, -1,
 		fmt.Sprintf("out to %s: %d/%d bytes shipped", target, shipped, hello.TotalBytes))
 	rt.logf("ctx %d migrated to %s (%d of %d bytes shipped, %d chunks reused)",
@@ -160,6 +163,7 @@ func (rt *Runtime) sendMigFrame(conn transport.Conn, f failover.Frame) (failover
 	if h := rt.migXferHook; h != nil {
 		dec := h.Check()
 		if dec.Crash {
+			rt.flightCrashDump()
 			ckptlog.Die()
 		}
 		if dec.Delay > 0 {
@@ -193,6 +197,7 @@ func (rt *Runtime) handleMigrateFrame(ctx *Context, raw []byte) api.Reply {
 	if h := rt.migImportHook; h != nil {
 		dec := h.Check()
 		if dec.Crash {
+			rt.flightCrashDump()
 			ckptlog.Die()
 		}
 		if dec.Delay > 0 {

@@ -24,6 +24,7 @@ import (
 	"gvrt/internal/faultinject"
 	"gvrt/internal/gpu"
 	"gvrt/internal/memmgr"
+	"gvrt/internal/obs"
 	"gvrt/internal/sched"
 	"gvrt/internal/sim"
 	"gvrt/internal/trace"
@@ -124,6 +125,11 @@ type Config struct {
 	// swaps, migrations, failures, recoveries, offloads) into a bounded
 	// ring for tests and operators.
 	Trace *trace.Recorder
+	// Flight, when set, is the node's black-box crash recorder: every
+	// structured event is mirrored into its bounded ring, and fence or
+	// breaker storms trigger an automatic dump. Fed only from cold
+	// paths — the launch/swap hot paths never touch it.
+	Flight *obs.FlightRecorder
 	// Faults, when set, arms the deterministic fault plane: devices, the
 	// memory manager's swap area and the dispatcher consult it at their
 	// injection points. Nil (the default) leaves every hook nil, so the
@@ -443,6 +449,16 @@ type Runtime struct {
 	tenants      map[string]*tenantState
 	quotaRejects atomic.Int64
 
+	// obsTenants attributes runtime work to tenants (internal/obs).
+	// Hot paths reach it only through the *obs.TenantMetrics pointer
+	// cached on each context at admission (ctx.tm, under ctx.mu), so
+	// attribution adds atomic ops but no locks to launch/swap paths.
+	obsTenants *obs.Registry
+	// gpuTimeNS totals modeled kernel execution time across all
+	// contexts — the node figure per-tenant attribution is conserved
+	// against.
+	gpuTimeNS atomic.Int64
+
 	// draining, once set, makes HandleConn refuse every new connection
 	// (graceful shutdown: the daemon stops admitting, lets in-flight
 	// sessions finish, then exits).
@@ -464,6 +480,7 @@ func New(crt *cudart.Runtime, cfg Config) (*Runtime, error) {
 		policy:     cfg.Policy,
 		ctxs:       make(map[int64]*Context),
 		tenants:    make(map[string]*tenantState),
+		obsTenants: obs.NewRegistry(),
 		prefetchCh: make(chan prefetchReq, 64),
 		quit:       make(chan struct{}),
 	}
@@ -480,7 +497,11 @@ func New(crt *cudart.Runtime, cfg Config) (*Runtime, error) {
 		D2H:        &rt.timings.D2H,
 		DedupSaved: &rt.timings.DedupSaved,
 		Prefetch:   &rt.timings.Prefetch,
+		Attr:       rt.obsTenants.ObserveCtx,
 	})
+	if cfg.Flight != nil {
+		cfg.Flight.SetSources(rt.clock.Now, rt.timings.Snapshot, rt.wireStats)
+	}
 	rt.dispatchHook = cfg.Faults.Hook(faultinject.PointDispatch, "")
 	rt.leaseHook = cfg.Faults.Hook(faultinject.PointLeaseCheck, "")
 	rt.migXferHook = cfg.Faults.Hook(faultinject.PointMigrateTransfer, "")
@@ -618,19 +639,19 @@ func (rt *Runtime) Metrics() Metrics {
 		})
 	}
 	return Metrics{
-		Devices:        devs,
-		CallsServed:    rt.calls.Load(),
-		Binds:          rt.binds.Load(),
-		InterAppSwaps:  rt.interSwaps.Load(),
-		IntraAppSwaps:  rt.intraSwaps.Load(),
-		Migrations:     rt.migrations.Load(),
-		Recoveries:     rt.recoveries.Load(),
-		Replays:        rt.replays.Load(),
-		DeviceFailures: rt.deviceFailures.Load(),
-		Offloaded:      rt.offloaded.Load(),
-		UnbindRetries:  rt.unbindRetries.Load(),
-		BreakerTrips:   rt.breakerTrips.Load(),
-		Readmissions:   rt.readmissions.Load(),
+		Devices:         devs,
+		CallsServed:     rt.calls.Load(),
+		Binds:           rt.binds.Load(),
+		InterAppSwaps:   rt.interSwaps.Load(),
+		IntraAppSwaps:   rt.intraSwaps.Load(),
+		Migrations:      rt.migrations.Load(),
+		Recoveries:      rt.recoveries.Load(),
+		Replays:         rt.replays.Load(),
+		DeviceFailures:  rt.deviceFailures.Load(),
+		Offloaded:       rt.offloaded.Load(),
+		UnbindRetries:   rt.unbindRetries.Load(),
+		BreakerTrips:    rt.breakerTrips.Load(),
+		Readmissions:    rt.readmissions.Load(),
 		RetriesSpent:    rt.retriesSpent.Load(),
 		Sheds:           rt.sheds.Load(),
 		PrefetchIssued:  rt.prefetchIssued.Load(),
@@ -656,19 +677,19 @@ func (rt *Runtime) wireStats() api.RuntimeStats {
 	live := len(rt.ctxs)
 	rt.mu.Unlock()
 	out := api.RuntimeStats{
-		CallsServed:     m.CallsServed,
-		Binds:           m.Binds,
-		InterAppSwaps:   m.InterAppSwaps,
-		IntraAppSwaps:   m.IntraAppSwaps,
-		SwapOps:         m.Memory.SwapOps,
-		SwapBytes:       m.Memory.SwapBytes,
-		CheckpointBytes: m.Memory.CheckpointBytes,
-		PrefetchIssued:  m.PrefetchIssued,
-		PrefetchHits:    m.PrefetchHits,
-		PrefetchSkipped: m.PrefetchSkipped,
-		DedupHits:       m.Memory.DedupHits,
-		DedupSavedBytes: m.Memory.DedupSavedBytes,
-		CowBreaks:       m.Memory.CowBreaks,
+		CallsServed:         m.CallsServed,
+		Binds:               m.Binds,
+		InterAppSwaps:       m.InterAppSwaps,
+		IntraAppSwaps:       m.IntraAppSwaps,
+		SwapOps:             m.Memory.SwapOps,
+		SwapBytes:           m.Memory.SwapBytes,
+		CheckpointBytes:     m.Memory.CheckpointBytes,
+		PrefetchIssued:      m.PrefetchIssued,
+		PrefetchHits:        m.PrefetchHits,
+		PrefetchSkipped:     m.PrefetchSkipped,
+		DedupHits:           m.Memory.DedupHits,
+		DedupSavedBytes:     m.Memory.DedupSavedBytes,
+		CowBreaks:           m.Memory.CowBreaks,
 		Migrations:          m.Migrations,
 		MigrationsStarted:   m.MigrationsStarted,
 		MigrationsCompleted: m.MigrationsCompleted,
@@ -685,9 +706,11 @@ func (rt *Runtime) wireStats() api.RuntimeStats {
 		Readmissions:   m.Readmissions,
 		RetriesSpent:   m.RetriesSpent,
 		Sheds:          m.Sheds,
+		GPUTimeNS:      rt.gpuTimeNS.Load(),
 		QueueDepth:     depth,
 		LiveContexts:   live,
 		Histograms:     rt.timings.Snapshot(),
+		Tenants:        rt.obsTenants.Snapshot(),
 	}
 	for _, d := range m.Devices {
 		out.Devices = append(out.Devices, api.DeviceStats{
@@ -748,6 +771,12 @@ func (rt *Runtime) NoteBreakerHeal(link string) {
 // layer wires its shared retrier's hook here.
 func (rt *Runtime) NoteRetrySpent() { rt.retriesSpent.Add(1) }
 
+// TenantAttribution returns the per-tenant attribution snapshot
+// (internal/obs): what each tenant's sessions consumed on this node.
+func (rt *Runtime) TenantAttribution() map[string]api.TenantUsage {
+	return rt.obsTenants.Snapshot()
+}
+
 // logf emits a debug event when configured.
 // Logf forwards to the runtime's configured logger (no-op when
 // unset), so sibling subsystems like the failover monitor can share
@@ -760,9 +789,23 @@ func (rt *Runtime) logf(format string, args ...any) {
 	}
 }
 
+// flightCrashDump writes the black box before an armed crash point
+// kills the process, so even a faultinject SIGKILL at a site that
+// calls ckptlog.Die directly leaves a post-mortem behind.
+func (rt *Runtime) flightCrashDump() {
+	if rt.cfg.Flight != nil {
+		rt.cfg.Flight.Dump("crash-point")
+	}
+}
+
 // event records a structured trace event (no-op without a recorder)
-// and mirrors it to the debug log.
+// and mirrors it to the debug log and the flight recorder. Every call
+// site is a cold-path state transition, so the flight recorder's short
+// mutex never sits on the launch or swap hot paths.
 func (rt *Runtime) event(kind trace.Kind, ctx, other int64, device int, detail string) {
+	if rt.cfg.Flight != nil {
+		rt.cfg.Flight.Note(kind.String(), ctx, device, detail)
+	}
 	if rt.cfg.Trace != nil {
 		rt.cfg.Trace.Record(trace.Event{
 			Time:   rt.clock.Now(),

@@ -99,11 +99,13 @@ func (rt *Runtime) joinTenant(ctx *Context, tenant string) api.Error {
 	if ts.maxSessions > 0 && ts.sessions >= ts.maxSessions {
 		rt.tenantMu.Unlock()
 		rt.quotaRejects.Add(1)
+		rt.obsTenants.Tenant(tenant).AddQuotaReject()
 		return api.ErrQuotaExceeded
 	}
 	if ts.hostBytes > 0 && ts.bytes+usage > ts.hostBytes {
 		rt.tenantMu.Unlock()
 		rt.quotaRejects.Add(1)
+		rt.obsTenants.Tenant(tenant).AddQuotaReject()
 		return api.ErrQuotaExceeded
 	}
 	ts.sessions++
@@ -111,6 +113,13 @@ func (rt *Runtime) joinTenant(ctx *Context, tenant string) api.Error {
 	rt.tenantMu.Unlock()
 	ctx.tenant = tenant
 	ctx.tenantCharged = usage
+	// Cache the tenant's attribution bundle on the context (we hold
+	// ctx.mu) and route lower-layer accounting (memmgr swap/checkpoint/
+	// dedup bytes) for this context to it. Everything the session does
+	// from here on is attributed to the tenant.
+	ctx.tm = rt.obsTenants.Tenant(tenant)
+	ctx.tm.SessionJoin()
+	rt.obsTenants.BindCtx(ctx.id, ctx.tm)
 	return api.Success
 }
 
@@ -136,6 +145,11 @@ func (rt *Runtime) leaveTenant(ctx *Context) {
 	rt.tenantMu.Unlock()
 	ctx.tenant = ""
 	ctx.tenantCharged = 0
+	if ctx.tm != nil {
+		ctx.tm.SessionLeave()
+		rt.obsTenants.UnbindCtx(ctx.id)
+		ctx.tm = nil
+	}
 }
 
 // tenantCharge reserves size bytes against the context's tenant quota
@@ -152,6 +166,9 @@ func (rt *Runtime) tenantCharge(ctx *Context, size uint64) api.Error {
 	}
 	if ts.hostBytes > 0 && ts.bytes+size > ts.hostBytes {
 		rt.quotaRejects.Add(1)
+		if ctx.tm != nil {
+			ctx.tm.AddQuotaReject()
+		}
 		return api.ErrQuotaExceeded
 	}
 	ts.bytes += size

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // RESTHandler exposes the control plane as REST resources, mounted by
@@ -23,10 +24,14 @@ import (
 //	GET    /devices              list device records
 //	POST   /devices/{id}/drain   evacuate + remove a device from scheduling
 //	POST   /devices/{id}/readmit return a drained device to scheduling
+//	GET    /slos                 list SLO records
+//	GET    /slos/{tenant}        fetch one tenant's SLO
+//	PUT    /slos/{tenant}        declare objectives {"launch_p99_ns": n, "max_error_ratio": f}
+//	DELETE /slos/{tenant}        remove a tenant's SLO
 //	GET    /ops                  list pending/stuck operations
 //	POST   /ops/cleanup          force-roll-back every listed operation
 //	POST   /ops/{id}/cleanup     force-roll-back one operation
-//	GET    /events               SSE stream of store commits
+//	GET    /events               SSE stream of store commits and SLO burn events
 func RESTHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
@@ -117,6 +122,38 @@ func RESTHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"device": id, "state": DeviceActive})
 	})
 
+	mux.HandleFunc("GET /slos", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, orEmpty(m.SLOs()))
+	})
+	mux.HandleFunc("GET /slos/{tenant}", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.GetSLO(r.PathValue("tenant"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("slo not found"))
+			return
+		}
+		writeJSON(w, http.StatusOK, s)
+	})
+	mux.HandleFunc("PUT /slos/{tenant}", func(w http.ResponseWriter, r *http.Request) {
+		var req SLO
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		s, err := m.SetSLO(r.PathValue("tenant"), req)
+		if err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s)
+	})
+	mux.HandleFunc("DELETE /slos/{tenant}", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.DeleteSLO(r.PathValue("tenant")); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
 	mux.HandleFunc("GET /ops", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"ops":      orEmpty(m.Ops()),
@@ -151,10 +188,18 @@ func RESTHandler(m *Manager) http.Handler {
 	return mux
 }
 
-// serveEvents streams store commits as server-sent events, one `data:`
-// line of Event JSON per committed transaction, so watchers (gvrt-top)
-// react to tenant/device changes instead of polling. A comment line is
-// sent immediately so clients know the stream is live.
+// sseHeartbeat is how often an idle /events stream emits a comment
+// line. It doubles as the reap bound: a client that vanished without a
+// context cancellation (half-open TCP, crashed reader) is detected by
+// the heartbeat write failing, so its Subscribe slot is released within
+// one interval instead of leaking until the next commit.
+var sseHeartbeat = 15 * time.Second
+
+// serveEvents streams store commits and injected SLO events as
+// server-sent events, one `data:` line of Event JSON each, so watchers
+// (gvrt-top) react to tenant/device changes instead of polling. A
+// comment line is sent immediately so clients know the stream is live,
+// and again every sseHeartbeat while idle.
 func (m *Manager) serveEvents(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -170,15 +215,24 @@ func (m *Manager) serveEvents(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, ": gvrt ctrlplane event stream, seq %d\n\n", m.store.Seq())
 	fl.Flush()
 
+	beat := time.NewTicker(sseHeartbeat)
+	defer beat.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-beat.C:
+			if _, err := fmt.Fprintf(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
 		case ev, ok := <-ch:
 			if !ok {
 				return // store closed
 			}
-			fmt.Fprintf(w, "data: %s\n\n", encodeJSON(ev))
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", encodeJSON(ev)); err != nil {
+				return
+			}
 			fl.Flush()
 		}
 	}

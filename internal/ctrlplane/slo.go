@@ -1,0 +1,64 @@
+package ctrlplane
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SLO records are plain single-key store state: setting one has no
+// multi-step runtime side effect to journal, so unlike tenant/quota
+// mutations these commit directly without a pending operation. The
+// record is durable intent ("tenant A is owed p99 < X"); the
+// observability plane evaluates it against live histograms.
+
+// SetSLO stores a tenant's SLO record. The tenant must exist.
+func (m *Manager) SetSLO(tenant string, s SLO) (*SLO, error) {
+	if tenant == "" {
+		return nil, fmt.Errorf("slo-set: empty tenant name")
+	}
+	if s.LaunchP99NS < 0 || s.MaxErrorRatio < 0 || s.MaxErrorRatio > 1 {
+		return nil, fmt.Errorf("slo-set %q: objectives out of range", tenant)
+	}
+	if _, ok := m.store.Get(TenantKey(tenant)); !ok {
+		return nil, fmt.Errorf("slo-set %q: tenant does not exist", tenant)
+	}
+	s.Tenant = tenant
+	if err := m.store.Commit((&Txn{}).Put(SLOKey(tenant), encodeJSON(s))); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// DeleteSLO removes a tenant's SLO record.
+func (m *Manager) DeleteSLO(tenant string) error {
+	if _, ok := m.store.Get(SLOKey(tenant)); !ok {
+		return fmt.Errorf("slo-delete %q: no such record", tenant)
+	}
+	return m.store.Commit((&Txn{}).Delete(SLOKey(tenant)))
+}
+
+// GetSLO returns one tenant's SLO record.
+func (m *Manager) GetSLO(tenant string) (*SLO, bool) {
+	raw, ok := m.store.Get(SLOKey(tenant))
+	if !ok {
+		return nil, false
+	}
+	var s SLO
+	if decodeJSON(raw, &s) != nil {
+		return nil, false
+	}
+	return &s, true
+}
+
+// SLOs lists all SLO records, sorted by tenant.
+func (m *Manager) SLOs() []SLO {
+	var out []SLO
+	for _, kv := range m.store.List(KeySLOPrefix) {
+		var s SLO
+		if decodeJSON(kv.Val, &s) == nil {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

@@ -24,6 +24,7 @@ package ctrlplane
 import (
 	"bytes"
 	"encoding/gob"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -96,13 +97,20 @@ func (t *Txn) Delete(key string) *Txn {
 // empty reports whether the transaction stages nothing.
 func (t *Txn) empty() bool { return len(t.rec.Puts) == 0 && len(t.rec.Deletes) == 0 }
 
-// Event describes one committed transaction to a store watcher.
+// Event describes one committed transaction to a store watcher, or —
+// when Kind is non-empty — a synthetic event injected onto the stream
+// (SLO burn-rate transitions). Synthetic events carry no Seq: they are
+// liveness signals, not store state.
 type Event struct {
-	// Seq is the commit's sequence number.
+	// Seq is the commit's sequence number (0 for synthetic events).
 	Seq uint64 `json:"seq"`
 	// Puts / Deletes list the affected keys.
 	Puts    []string `json:"puts,omitempty"`
 	Deletes []string `json:"deletes,omitempty"`
+	// Kind tags a synthetic event ("slo"); empty for commits.
+	Kind string `json:"kind,omitempty"`
+	// Detail is the synthetic event's JSON payload.
+	Detail json.RawMessage `json:"detail,omitempty"`
 }
 
 // Options tunes a Store.
@@ -583,6 +591,21 @@ func (s *Store) Subscribe(buf int) (ch <-chan Event, cancel func()) {
 		}
 		s.watchMu.Unlock()
 	}
+}
+
+// Inject broadcasts a synthetic event to every watcher without
+// touching the store: the observability plane uses it to push SLO
+// burn-rate transitions onto the same /events stream commits ride.
+func (s *Store) Inject(ev Event) {
+	s.broadcast(ev)
+}
+
+// Watchers reports how many subscribers are currently registered — the
+// observable the SSE reap path is tested against.
+func (s *Store) Watchers() int {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	return len(s.watchers)
 }
 
 // broadcast fans one commit event out to every watcher, dropping the

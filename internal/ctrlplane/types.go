@@ -17,6 +17,7 @@ const (
 	KeyDevicePrefix = "device/"
 	KeyNodePrefix   = "node/"
 	KeyOpPrefix     = "op/"
+	KeySLOPrefix    = "slo/"
 )
 
 // TenantKey returns the store key for a tenant record.
@@ -54,6 +55,23 @@ type Tenant struct {
 	// CreatedSeq is the store sequence at which the tenant was created,
 	// a logical timestamp (the store has no wall clock).
 	CreatedSeq uint64 `json:"created_seq"`
+}
+
+// SLOKey returns the store key for a tenant's SLO record.
+func SLOKey(tenant string) string { return KeySLOPrefix + tenant }
+
+// SLO is a tenant's declared service-level objectives. Zero fields
+// disable the corresponding objective. Like quotas, the durable record
+// of WHAT the objective is lives here; evaluation (burn rates) happens
+// in the observability plane (internal/obs).
+type SLO struct {
+	Tenant string `json:"tenant"`
+	// LaunchP99NS: at least 99% of the tenant's kernel launches must
+	// complete within this many model nanoseconds.
+	LaunchP99NS int64 `json:"launch_p99_ns,omitempty"`
+	// MaxErrorRatio: at most this fraction of the tenant's calls may
+	// fail.
+	MaxErrorRatio float64 `json:"max_error_ratio,omitempty"`
 }
 
 // Quota bounds a tenant's resource consumption. Zero fields are

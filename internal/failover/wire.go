@@ -1,9 +1,9 @@
 package failover
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/gob"
-	"bytes"
 	"fmt"
 	"hash/crc32"
 
@@ -53,8 +53,8 @@ const (
 //	magic(4) type(1) session(8) seq(8) payloadLen(4) headerCRC(4)
 //	payload... payloadCRC(4)
 const (
-	frameMagic  = 0x47564d46 // "GVMF"
-	frameHdrLen = 4 + 1 + 8 + 8 + 4 + 4
+	frameMagic   = 0x47564d46 // "GVMF"
+	frameHdrLen  = 4 + 1 + 8 + 8 + 4 + 4
 	frameTailLen = 4
 	// maxPayloadLen bounds a frame so a corrupt length field cannot
 	// drive a huge allocation. Chunks are ChunkSize; Hello manifests

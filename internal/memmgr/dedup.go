@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"hash/crc32"
 	"sync"
+
+	"gvrt/internal/trace"
 )
 
 // This file implements content-addressed swap deduplication with
@@ -114,6 +116,7 @@ func (m *Manager) seal(p *PTE) {
 		// summing used+saved never observes the transfer half-done low.
 		p.dedupSaved += saved
 		m.dedupSavedBytes.Add(int64(saved))
+		m.tracer.Attribute(p.ctxID, trace.AttrDedupSaved, int64(saved))
 		m.releaseHost(saved)
 		if t := m.tracer; t != nil {
 			t.Observe(t.DedupSaved, int64(saved))
@@ -156,6 +159,7 @@ func (m *Manager) reclaimSaved(p *PTE) {
 	}
 	m.forceReserve(p.dedupSaved)
 	m.dedupSavedBytes.Add(-int64(p.dedupSaved))
+	m.tracer.Attribute(p.ctxID, trace.AttrDedupSaved, -int64(p.dedupSaved))
 	p.dedupSaved = 0
 }
 

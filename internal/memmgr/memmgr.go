@@ -618,6 +618,7 @@ func (m *Manager) Free(pte *PTE, ops DeviceOps) error {
 		// Shared chunk bytes were already released at seal time; only
 		// the entry's private share of host occupancy returns here.
 		m.dedupSavedBytes.Add(-int64(pte.dedupSaved))
+		m.tracer.Attribute(pte.ctxID, trace.AttrDedupSaved, -int64(pte.dedupSaved))
 		m.releaseHost(pte.Size - pte.dedupSaved)
 		pte.dedupSaved = 0
 		m.dropChunks(pte)
@@ -920,6 +921,7 @@ func (m *Manager) SwapOut(pte *PTE, ops DeviceOps) error {
 			return err
 		}
 		m.swapBytes.Add(int64(pte.Size))
+		t.Attribute(pte.ctxID, trace.AttrSwapBytes, int64(pte.Size))
 	}
 	if err := ops.Free(pte.Device); err != nil {
 		return err
@@ -928,6 +930,7 @@ func (m *Manager) SwapOut(pte *PTE, ops DeviceOps) error {
 	pte.Device = 0
 	pte.ToCopy2Dev = true
 	m.swapOps.Add(1)
+	t.Attribute(pte.ctxID, trace.AttrSwapOps, 1)
 	if t != nil {
 		elapsed := t.Start() - start
 		t.Observe(t.SwapDur, int64(elapsed))
@@ -1029,6 +1032,7 @@ func (m *Manager) syncBatchToSwap(dirty []*PTE, ops BatchDeviceOps) error {
 		}
 		pte.ToCopy2Swap = false
 		m.swapBytes.Add(int64(pte.Size))
+		m.tracer.Attribute(pte.ctxID, trace.AttrSwapBytes, int64(pte.Size))
 		m.noteWrite(pte)
 	}
 	return nil
@@ -1048,6 +1052,7 @@ func (m *Manager) Checkpoint(ctxID int64, ops DeviceOps) (int, error) {
 			return n, err
 		}
 		m.checkpointBytes.Add(int64(pte.Size))
+		m.tracer.Attribute(pte.ctxID, trace.AttrCheckpointBytes, int64(pte.Size))
 		n++
 	}
 	m.checkpoint.Add(1)
@@ -1106,6 +1111,7 @@ func (m *Manager) ReleaseContext(ctxID int64, ops DeviceOps) {
 		if pte.dedupSaved > 0 {
 			released -= pte.dedupSaved
 			m.dedupSavedBytes.Add(-int64(pte.dedupSaved))
+			m.tracer.Attribute(ctxID, trace.AttrDedupSaved, -int64(pte.dedupSaved))
 			pte.dedupSaved = 0
 		}
 		m.dropChunks(pte)

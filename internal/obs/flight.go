@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gvrt/internal/api"
+	"gvrt/internal/trace"
+)
+
+// FlightRecord is one entry in the black-box ring: a state transition,
+// breaker/fence/lease event, span, or crash-point arm the node saw
+// recently.
+type FlightRecord struct {
+	Seq    uint64        `json:"seq"`
+	Wall   time.Time     `json:"wall"`
+	Model  time.Duration `json:"model_ns"`
+	Kind   string        `json:"kind"`
+	Ctx    int64         `json:"ctx,omitempty"`
+	Device int           `json:"device,omitempty"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// FlightDump is the on-disk post-mortem artifact: the ring contents at
+// dump time plus the histogram deltas since the previous dump and a
+// final stats snapshot. gvrt-chaos folds it into its failover
+// verdicts; operators read it with `gvrt-chaos -flight-read <path>`.
+type FlightDump struct {
+	Schema string    `json:"schema"` // "gvrt-flight/v1"
+	Node   string    `json:"node"`
+	Reason string    `json:"reason"`
+	Wall   time.Time `json:"wall"`
+	// Seq is the recorder's sequence counter at dump time; records
+	// carry their own Seq so dropped (overwritten) history is visible.
+	Seq     uint64                        `json:"seq"`
+	Records []FlightRecord                `json:"records"`
+	Hists   map[string]trace.HistSnapshot `json:"hist_deltas,omitempty"`
+	Stats   *api.RuntimeStats             `json:"stats,omitempty"`
+}
+
+// FlightSchema identifies a parseable dump.
+const FlightSchema = "gvrt-flight/v1"
+
+// FlightRecorder is a bounded per-node black box. Note appends to a
+// fixed ring under a short mutex — it is fed only from cold paths
+// (state transitions, fence rejections, breaker trips, crash points),
+// never from the launch or swap hot paths. Dump writes the ring
+// atomically (temp file + rename) so a dump racing a SIGKILL is either
+// complete or absent, never torn.
+//
+// Dumps trigger on: armed faultinject crash points (WrapCrash), fence
+// or breaker storms (>= stormThreshold events inside stormWindow), an
+// explicit Dump call (panic handlers), and — so an external SIGKILL
+// still leaves evidence — a periodic background flush (Run).
+type FlightRecorder struct {
+	mu       sync.Mutex
+	node     string
+	path     string
+	recs     []FlightRecord
+	n        int // filled entries
+	head     int // next write position
+	seq      uint64
+	modelNow func() time.Duration
+	hists    func() map[string]trace.HistSnapshot
+	stats    func() api.RuntimeStats
+	lastHist map[string]trace.HistSnapshot
+
+	stormWindow    time.Duration
+	stormThreshold int
+	stormTimes     []time.Time
+	stormFired     time.Time
+
+	dumps atomic.Int64
+}
+
+// NewFlightRecorder creates a recorder for node writing dumps to
+// dir/flight-<node>.json. capacity <= 0 defaults to 512 records.
+func NewFlightRecorder(node, dir string, capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &FlightRecorder{
+		node:           node,
+		path:           filepath.Join(dir, "flight-"+node+".json"),
+		recs:           make([]FlightRecord, capacity),
+		stormWindow:    2 * time.Second,
+		stormThreshold: 8,
+	}
+}
+
+// SetSources attaches optional context providers: the model clock, a
+// histogram snapshot source (for last-delta capture), and a stats
+// snapshot source. Any may be nil.
+func (f *FlightRecorder) SetSources(modelNow func() time.Duration, hists func() map[string]trace.HistSnapshot, stats func() api.RuntimeStats) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.modelNow = modelNow
+	f.hists = hists
+	f.stats = stats
+}
+
+// Path returns the dump destination.
+func (f *FlightRecorder) Path() string { return f.path }
+
+// Dumps returns how many dumps have been written.
+func (f *FlightRecorder) Dumps() int64 { return f.dumps.Load() }
+
+// Note appends a record to the ring. kind "fence" and "breaker-trip"
+// contribute to storm detection: a threshold crossing inside the storm
+// window triggers an asynchronous dump (at most once per window).
+func (f *FlightRecorder) Note(kind string, ctx int64, device int, detail string) {
+	if f == nil {
+		return
+	}
+	now := time.Now()
+	f.mu.Lock()
+	f.seq++
+	rec := FlightRecord{Seq: f.seq, Wall: now, Kind: kind, Ctx: ctx, Device: device, Detail: detail}
+	if f.modelNow != nil {
+		rec.Model = f.modelNow()
+	}
+	f.recs[f.head] = rec
+	f.head = (f.head + 1) % len(f.recs)
+	if f.n < len(f.recs) {
+		f.n++
+	}
+	storm := false
+	if kind == "fence" || kind == "breaker-trip" {
+		cut := now.Add(-f.stormWindow)
+		times := f.stormTimes[:0]
+		for _, t := range f.stormTimes {
+			if t.After(cut) {
+				times = append(times, t)
+			}
+		}
+		f.stormTimes = append(times, now)
+		if len(f.stormTimes) >= f.stormThreshold && now.Sub(f.stormFired) > f.stormWindow {
+			f.stormFired = now
+			storm = true
+		}
+	}
+	f.mu.Unlock()
+	if storm {
+		go f.Dump(kind + "-storm")
+	}
+}
+
+// snapshotLocked renders the ring oldest-first. Caller holds f.mu.
+func (f *FlightRecorder) snapshotLocked() []FlightRecord {
+	out := make([]FlightRecord, 0, f.n)
+	start := f.head - f.n
+	if start < 0 {
+		start += len(f.recs)
+	}
+	for i := 0; i < f.n; i++ {
+		out = append(out, f.recs[(start+i)%len(f.recs)])
+	}
+	return out
+}
+
+// Dump writes the black box to disk atomically and returns the path.
+// Histogram deltas are relative to the previous dump, so consecutive
+// dumps describe disjoint intervals.
+func (f *FlightRecorder) Dump(reason string) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	f.mu.Lock()
+	d := FlightDump{
+		Schema:  FlightSchema,
+		Node:    f.node,
+		Reason:  reason,
+		Wall:    time.Now(),
+		Seq:     f.seq,
+		Records: f.snapshotLocked(),
+	}
+	hists := f.hists
+	stats := f.stats
+	prev := f.lastHist
+	f.mu.Unlock()
+
+	if hists != nil {
+		cur := hists()
+		d.Hists = make(map[string]trace.HistSnapshot, len(cur))
+		for k, s := range cur {
+			d.Hists[k] = s.Delta(prev[k])
+		}
+		f.mu.Lock()
+		f.lastHist = cur
+		f.mu.Unlock()
+	}
+	if stats != nil {
+		s := stats()
+		d.Stats = &s
+	}
+
+	buf, err := json.MarshalIndent(&d, "", " ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(filepath.Dir(f.path), 0o755); err != nil {
+		return "", err
+	}
+	tmp := f.path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, f.path); err != nil {
+		return "", err
+	}
+	f.dumps.Add(1)
+	return f.path, nil
+}
+
+// WrapCrash chains the recorder in front of a faultinject OnCrash
+// action: the black box hits the disk before the process kills itself,
+// so an armed crash point always leaves a post-mortem.
+func (f *FlightRecorder) WrapCrash(next func()) func() {
+	return func() {
+		if f != nil {
+			f.Dump("crash-point")
+		}
+		if next != nil {
+			next()
+		}
+	}
+}
+
+// Run flushes the box to disk every interval until stop closes — the
+// belt-and-braces trigger that makes even an external SIGKILL (no
+// in-process warning at all) leave a recent dump behind.
+func (f *FlightRecorder) Run(interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			f.Dump("shutdown")
+			return
+		case <-t.C:
+			f.Dump("periodic")
+		}
+	}
+}
+
+// ReadFlightDump parses a dump file, validating the schema.
+func ReadFlightDump(path string) (*FlightDump, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d FlightDump
+	if err := json.Unmarshal(buf, &d); err != nil {
+		return nil, fmt.Errorf("flight dump %s: %w", path, err)
+	}
+	if d.Schema != FlightSchema {
+		return nil, fmt.Errorf("flight dump %s: schema %q, want %q", path, d.Schema, FlightSchema)
+	}
+	return &d, nil
+}

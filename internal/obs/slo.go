@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"gvrt/internal/api"
+	"gvrt/internal/trace"
+)
+
+// Objective is one tenant's service-level objective. Zero fields
+// disable the corresponding check, so a tenant can declare a latency
+// objective without an error-ratio one.
+type Objective struct {
+	Tenant string `json:"tenant"`
+	// LaunchP99NS: at least 99% of the tenant's kernel launches must
+	// complete within this many model nanoseconds.
+	LaunchP99NS int64 `json:"launch_p99_ns,omitempty"`
+	// MaxErrorRatio: at most this fraction of the tenant's calls may
+	// fail (errors + quota rejects over calls).
+	MaxErrorRatio float64 `json:"max_error_ratio,omitempty"`
+}
+
+// SLOStatus is the evaluated state of one tenant/kind pair, served at
+// /slo and embedded in burn-rate events.
+type SLOStatus struct {
+	Tenant string `json:"tenant"`
+	// Kind is "launch_p99" or "error_ratio".
+	Kind string `json:"kind"`
+	// Objective echoes the declared target: nanoseconds for
+	// launch_p99, a ratio for error_ratio.
+	Objective float64 `json:"objective"`
+	// ShortBurn / LongBurn are the burn rates over the two windows:
+	// the fraction of the error budget consumed per unit budget — 1.0
+	// means burning exactly at the objective's allowance, >1 means the
+	// budget is shrinking.
+	ShortBurn float64 `json:"short_burn"`
+	LongBurn  float64 `json:"long_burn"`
+	// ShortWindowS / LongWindowS are the window lengths in wall
+	// seconds.
+	ShortWindowS float64 `json:"short_window_s"`
+	LongWindowS  float64 `json:"long_window_s"`
+	// Breaching is the multi-window alert state: both windows burning
+	// above the threshold.
+	Breaching bool `json:"breaching"`
+	// Current observed values over the short window, for operators.
+	P99NS      int64   `json:"p99_ns,omitempty"`
+	ErrorRatio float64 `json:"error_ratio,omitempty"`
+}
+
+// SLOEvent is published when a tenant's alert state transitions. It is
+// pushed onto the ctrlplane /events SSE stream.
+type SLOEvent struct {
+	Status SLOStatus `json:"status"`
+	// Wall is the wall-clock evaluation time.
+	Wall time.Time `json:"wall"`
+}
+
+// sloSample is one timestamped usage snapshot in the evaluation ring.
+type sloSample struct {
+	at    time.Time
+	usage map[string]api.TenantUsage
+}
+
+// SLOEngine evaluates per-tenant objectives as multi-window burn rates
+// over cumulative usage snapshots: each Tick records a snapshot, diffs
+// it against the samples closest to now-shortWindow and
+// now-longWindow (HistSnapshot.Delta — restart-safe), and computes how
+// fast each tenant is consuming its error budget. An alert fires only
+// when BOTH windows burn above the threshold — the classic
+// multi-window guard against paging on a blip — and a resolve fires
+// when both drop back under.
+type SLOEngine struct {
+	mu         sync.Mutex
+	now        func() time.Time
+	objectives func() []Objective
+	usage      func() map[string]api.TenantUsage
+	publish    func(SLOEvent)
+
+	shortWin, longWin time.Duration
+	threshold         float64
+
+	ring     []sloSample
+	breached map[string]bool // "tenant/kind" -> alerting
+	last     []SLOStatus
+}
+
+// SLOEngineOptions configures an engine; zero fields get defaults.
+type SLOEngineOptions struct {
+	// Objectives returns the currently declared objectives (typically
+	// read through the ctrlplane store).
+	Objectives func() []Objective
+	// Usage returns the cumulative per-tenant usage to evaluate —
+	// node-local or a cluster rollup.
+	Usage func() map[string]api.TenantUsage
+	// Publish receives alert-state transitions; may be nil.
+	Publish func(SLOEvent)
+	// ShortWindow / LongWindow default to 1m / 5m wall time.
+	ShortWindow, LongWindow time.Duration
+	// Threshold is the burn rate both windows must exceed to breach;
+	// defaults to 2 (budget gone in half the period).
+	Threshold float64
+	// Now defaults to time.Now.
+	Now func() time.Time
+}
+
+// NewSLOEngine builds an engine. Objectives and Usage are required.
+func NewSLOEngine(opts SLOEngineOptions) *SLOEngine {
+	e := &SLOEngine{
+		now:        opts.Now,
+		objectives: opts.Objectives,
+		usage:      opts.Usage,
+		publish:    opts.Publish,
+		shortWin:   opts.ShortWindow,
+		longWin:    opts.LongWindow,
+		threshold:  opts.Threshold,
+		breached:   make(map[string]bool),
+	}
+	if e.now == nil {
+		e.now = time.Now
+	}
+	if e.shortWin <= 0 {
+		e.shortWin = time.Minute
+	}
+	if e.longWin <= e.shortWin {
+		e.longWin = 5 * e.shortWin
+	}
+	if e.threshold <= 0 {
+		e.threshold = 2
+	}
+	return e
+}
+
+// Run ticks the engine every interval until stop closes.
+func (e *SLOEngine) Run(interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			e.Tick()
+		}
+	}
+}
+
+// Tick samples current usage, evaluates every objective, publishes
+// transitions, and retains the new status set for Status().
+func (e *SLOEngine) Tick() []SLOStatus {
+	now := e.now()
+	cur := sloSample{at: now, usage: e.usage()}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	e.ring = append(e.ring, cur)
+	// Retain one sample older than the long window so a full-length
+	// delta stays computable; drop anything older than that.
+	cutoff := now.Add(-e.longWin)
+	drop := 0
+	for drop < len(e.ring)-1 && !e.ring[drop+1].at.After(cutoff) {
+		drop++
+	}
+	e.ring = e.ring[drop:]
+
+	short := e.sampleBefore(now.Add(-e.shortWin))
+	long := e.sampleBefore(cutoff)
+
+	var out []SLOStatus
+	for _, obj := range e.objectives() {
+		for _, st := range e.eval(obj, cur, short, long) {
+			key := st.Tenant + "/" + st.Kind
+			was := e.breached[key]
+			if st.Breaching != was {
+				e.breached[key] = st.Breaching
+				if e.publish != nil {
+					e.publish(SLOEvent{Status: st, Wall: now})
+				}
+			}
+			out = append(out, st)
+		}
+	}
+	e.last = out
+	return out
+}
+
+// Status returns the most recently evaluated statuses.
+func (e *SLOEngine) Status() []SLOStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]SLOStatus(nil), e.last...)
+}
+
+// sampleBefore returns the newest ring sample at or before t, falling
+// back to the oldest sample (a shorter-than-requested window during
+// warm-up beats no window at all).
+func (e *SLOEngine) sampleBefore(t time.Time) sloSample {
+	if len(e.ring) == 0 {
+		return sloSample{}
+	}
+	best := e.ring[0]
+	for _, s := range e.ring[1:] {
+		if s.at.After(t) {
+			break
+		}
+		best = s
+	}
+	return best
+}
+
+// eval computes the status rows for one objective against the current
+// sample and the two window anchors.
+func (e *SLOEngine) eval(obj Objective, cur, short, long sloSample) []SLOStatus {
+	var out []SLOStatus
+	cu := cur.usage[obj.Tenant]
+	if obj.LaunchP99NS > 0 {
+		sBurn, p99 := latencyBurn(cu, short.usage[obj.Tenant], obj.LaunchP99NS)
+		lBurn, _ := latencyBurn(cu, long.usage[obj.Tenant], obj.LaunchP99NS)
+		st := SLOStatus{
+			Tenant: obj.Tenant, Kind: "launch_p99",
+			Objective: float64(obj.LaunchP99NS),
+			ShortBurn: sBurn, LongBurn: lBurn,
+			ShortWindowS: e.shortWin.Seconds(), LongWindowS: e.longWin.Seconds(),
+			Breaching: sBurn > e.threshold && lBurn > e.threshold,
+			P99NS:     p99,
+		}
+		out = append(out, st)
+	}
+	if obj.MaxErrorRatio > 0 {
+		sBurn, ratio := errorBurn(cu, short.usage[obj.Tenant], obj.MaxErrorRatio)
+		lBurn, _ := errorBurn(cu, long.usage[obj.Tenant], obj.MaxErrorRatio)
+		st := SLOStatus{
+			Tenant: obj.Tenant, Kind: "error_ratio",
+			Objective: obj.MaxErrorRatio,
+			ShortBurn: sBurn, LongBurn: lBurn,
+			ShortWindowS: e.shortWin.Seconds(), LongWindowS: e.longWin.Seconds(),
+			Breaching:  sBurn > e.threshold && lBurn > e.threshold,
+			ErrorRatio: ratio,
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// latencyBurn computes the burn rate of a "p99 <= objective" SLO over
+// the window [prev, cur]: the fraction of launches in the window that
+// exceeded the objective, divided by the 1% budget. Also returns the
+// window's observed p99. The log2 buckets make "exceeded" conservative
+// by up to 2x (a bucket straddling the objective counts as violating);
+// that bias is stable, documented, and in the operator's favour.
+func latencyBurn(cur, prev api.TenantUsage, objectiveNS int64) (burn float64, p99 int64) {
+	d := cur.Launch.Delta(prev.Launch)
+	if d.Count <= 0 {
+		return 0, 0
+	}
+	var violating int64
+	for i, c := range d.Buckets {
+		if trace.BucketBound(i) > objectiveNS {
+			violating += c
+		}
+	}
+	frac := float64(violating) / float64(d.Count)
+	return frac / 0.01, d.Quantile(0.99)
+}
+
+// errorBurn computes the burn rate of an error-ratio SLO over the
+// window: (errors + quota rejects) / calls, divided by the allowed
+// ratio. Quota rejects count against the tenant-facing error budget —
+// a shed call failed from the client's point of view.
+func errorBurn(cur, prev api.TenantUsage, maxRatio float64) (burn float64, ratio float64) {
+	calls := cur.Calls - prev.Calls
+	if calls <= 0 {
+		return 0, 0
+	}
+	bad := (cur.Errors - prev.Errors) + (cur.QuotaRejects - prev.QuotaRejects)
+	if bad < 0 {
+		bad = 0
+	}
+	ratio = float64(bad) / float64(calls)
+	return ratio / maxRatio, ratio
+}

@@ -60,11 +60,82 @@ func writeMetrics(w io.Writer, s api.RuntimeStats) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, c.help, name, name, c.value)
 	}
 
+	fmt.Fprintf(w, "# HELP gvrt_gpu_seconds_total Model seconds of kernel execution across all contexts (the per-tenant conservation anchor).\n# TYPE gvrt_gpu_seconds_total counter\ngvrt_gpu_seconds_total %s\n",
+		fmtFloat(float64(s.GPUTimeNS)/1e9))
+
 	writeGauge(w, "gvrt_queue_depth", "Contexts waiting for a virtual GPU.", float64(s.QueueDepth))
 	writeGauge(w, "gvrt_live_contexts", "Live application contexts.", float64(s.LiveContexts))
 
 	writeDeviceMetrics(w, s.Devices)
+	writeTenantMetrics(w, s.Tenants)
 	writeHistograms(w, s.Histograms)
+}
+
+// tenantMetric describes one per-tenant series.
+type tenantMetric struct {
+	name string
+	help string
+	typ  string
+	val  func(api.TenantUsage) float64
+}
+
+// writeTenantMetrics renders the per-tenant attribution bundle as
+// tenant-labeled series. Counter families end in _total; dedup savings
+// are a gauge because reclaiming a saving (COW break, free) takes the
+// value back down.
+func writeTenantMetrics(w io.Writer, tenants map[string]api.TenantUsage) {
+	if len(tenants) == 0 {
+		return
+	}
+	names := make([]string, 0, len(tenants))
+	for t := range tenants {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+
+	metrics := []tenantMetric{
+		{"gvrt_tenant_sessions", "Sessions currently admitted for the tenant.", "gauge",
+			func(u api.TenantUsage) float64 { return float64(u.Sessions) }},
+		{"gvrt_tenant_calls_total", "CUDA calls served for the tenant.", "counter",
+			func(u api.TenantUsage) float64 { return float64(u.Calls) }},
+		{"gvrt_tenant_errors_total", "Calls that returned an error to the tenant.", "counter",
+			func(u api.TenantUsage) float64 { return float64(u.Errors) }},
+		{"gvrt_tenant_launches_total", "Kernel launches completed for the tenant.", "counter",
+			func(u api.TenantUsage) float64 { return float64(u.Launches) }},
+		{"gvrt_tenant_gpu_seconds_total", "Model seconds of GPU execution attributed to the tenant.", "counter",
+			func(u api.TenantUsage) float64 { return float64(u.GPUTimeNS) / 1e9 }},
+		{"gvrt_tenant_queue_wait_seconds_total", "Model seconds the tenant's contexts spent queued for a vGPU.", "counter",
+			func(u api.TenantUsage) float64 { return float64(u.QueueWaitNS) / 1e9 }},
+		{"gvrt_tenant_swap_bytes_total", "Swap-area bytes moved on behalf of the tenant.", "counter",
+			func(u api.TenantUsage) float64 { return float64(u.SwapBytes) }},
+		{"gvrt_tenant_swap_ops_total", "Swap-area operations attributed to the tenant.", "counter",
+			func(u api.TenantUsage) float64 { return float64(u.SwapOps) }},
+		{"gvrt_tenant_checkpoint_bytes_total", "Checkpoint bytes written for the tenant.", "counter",
+			func(u api.TenantUsage) float64 { return float64(u.CheckpointBytes) }},
+		{"gvrt_tenant_migration_bytes_total", "Migration wire bytes shipped for the tenant.", "counter",
+			func(u api.TenantUsage) float64 { return float64(u.MigrationBytes) }},
+		{"gvrt_tenant_dedup_saved_bytes", "Host bytes currently saved for the tenant by swap deduplication.", "gauge",
+			func(u api.TenantUsage) float64 { return float64(u.DedupSavedBytes) }},
+		{"gvrt_tenant_fence_rejections_total", "Tenant calls rejected by the session-lease write fence.", "counter",
+			func(u api.TenantUsage) float64 { return float64(u.FenceRejections) }},
+		{"gvrt_tenant_quota_rejects_total", "Tenant admissions or allocations rejected by quota.", "counter",
+			func(u api.TenantUsage) float64 { return float64(u.QuotaRejects) }},
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		for _, t := range names {
+			fmt.Fprintf(w, "%s{tenant=%q} %s\n", m.name, t, fmtFloat(m.val(tenants[t])))
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP gvrt_tenant_launch_latency_seconds Per-tenant kernel launch service time (model seconds).\n# TYPE gvrt_tenant_launch_latency_seconds histogram\n")
+	for _, t := range names {
+		writeHist(w, "gvrt_tenant_launch_latency_seconds", fmt.Sprintf("tenant=%q,", t), tenants[t].Launch, 1e9)
+	}
+	fmt.Fprintf(w, "# HELP gvrt_tenant_queue_wait_seconds Per-tenant vGPU queue wait (model seconds).\n# TYPE gvrt_tenant_queue_wait_seconds histogram\n")
+	for _, t := range names {
+		writeHist(w, "gvrt_tenant_queue_wait_seconds", fmt.Sprintf("tenant=%q,", t), tenants[t].QueueWait, 1e9)
+	}
 }
 
 // writeCtrlMetrics renders the control plane's operation counters,
@@ -176,6 +247,10 @@ func histInfo(key string) histMeta {
 		return histMeta{"gvrt_migration_duration_seconds", "Cross-node session migration duration (model seconds).", 1e9}
 	case "migration_bytes":
 		return histMeta{"gvrt_migration_size_bytes", "Wire bytes actually shipped per cross-node migration (after dedup/resume exclusion).", 1}
+	case "dedup_saved":
+		return histMeta{"gvrt_dedup_saved_bytes", "Bytes saved per swap-image seal by chunk deduplication (bytes).", 1}
+	case "prefetch":
+		return histMeta{"gvrt_prefetch_seconds", "Predictive swap-in prefetch duration (model seconds).", 1e9}
 	default:
 		// Unknown future keys still expose, as sanitized model-second
 		// histograms, so adding a histogram never silently drops data.

@@ -19,6 +19,7 @@ import (
 
 	"gvrt/internal/api"
 	"gvrt/internal/ctrlplane"
+	"gvrt/internal/obs"
 	"gvrt/internal/trace"
 )
 
@@ -42,6 +43,11 @@ type Source struct {
 	// JournalHealthy reports whether the checkpoint journal can still
 	// persist commits; nil means "no journal attached" (healthy).
 	JournalHealthy func() bool
+	// Fleet, when set (head nodes), enables /metrics?scope=cluster and
+	// /cluster: the fleet-wide merge of every reachable peer's snapshot.
+	Fleet *obs.Collector
+	// SLO, when set, serves per-tenant burn-rate status at /slo.
+	SLO *obs.SLOEngine
 }
 
 // Handler builds the operator-plane HTTP handler.
@@ -57,7 +63,10 @@ func Handler(src Source) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "gvrt operator plane (%s)\n\n", src.Name)
-		fmt.Fprintln(w, "  /metrics      Prometheus text exposition")
+		fmt.Fprintln(w, "  /metrics      Prometheus text exposition (?scope=cluster on head nodes)")
+		fmt.Fprintln(w, "  /tenants/{t}/usage  per-tenant attribution snapshot (JSON)")
+		fmt.Fprintln(w, "  /slo          per-tenant SLO burn-rate status (JSON)")
+		fmt.Fprintln(w, "  /cluster      fleet-wide merged snapshot (JSON, head nodes)")
 		fmt.Fprintln(w, "  /statusz      node status: devices, queue, counters")
 		fmt.Fprintln(w, "  /tracez       slowest recent spans (?n=100)")
 		fmt.Fprintln(w, "  /trace.json   Chrome trace-event export (load in Perfetto)")
@@ -68,8 +77,9 @@ func Handler(src Source) http.Handler {
 			fmt.Fprintln(w, "  /tenants      tenant registry (GET list, POST create, DELETE one)")
 			fmt.Fprintln(w, "  /quotas       tenant quotas (GET list, PUT /quotas/{tenant})")
 			fmt.Fprintln(w, "  /devices      device membership (POST /devices/{id}/drain|readmit)")
+			fmt.Fprintln(w, "  /slos         tenant SLO records (PUT /slos/{tenant})")
 			fmt.Fprintln(w, "  /ops          pending/stuck operations (POST /ops/cleanup)")
-			fmt.Fprintln(w, "  /events       SSE stream of store commits")
+			fmt.Fprintln(w, "  /events       SSE stream of store commits and SLO burn events")
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -78,16 +88,66 @@ func Handler(src Source) http.Handler {
 	if src.Ctrl != nil {
 		rest := ctrlplane.RESTHandler(src.Ctrl)
 		for _, p := range []string{"/tenants", "/tenants/", "/quotas", "/quotas/",
-			"/devices", "/devices/", "/ops", "/ops/", "/events"} {
+			"/devices", "/devices/", "/slos", "/slos/", "/ops", "/ops/", "/events"} {
 			mux.Handle(p, rest)
 		}
 	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if r.URL.Query().Get("scope") == "cluster" {
+			if src.Fleet == nil {
+				http.Error(w, "no fleet collector on this node", http.StatusNotFound)
+				return
+			}
+			cs := src.Fleet.Collect()
+			writeGauge(w, "gvrt_cluster_nodes", "Nodes whose snapshot is folded into this exposition.", float64(len(cs.Nodes)))
+			writeGauge(w, "gvrt_cluster_nodes_unreachable", "Nodes that failed to answer the stats pull.", float64(len(cs.Unreachable)))
+			writeMetrics(w, cs.Merged)
+			return
+		}
 		writeMetrics(w, src.Stats())
 		if src.Ctrl != nil {
 			writeCtrlMetrics(w, src.Ctrl)
 		}
+	})
+	// Registered with an explicit method + trailing segment so it wins
+	// over the control plane's /tenants/ prefix mount above.
+	mux.HandleFunc("GET /tenants/{tenant}/usage", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("tenant")
+		var u api.TenantUsage
+		var ok bool
+		if r.URL.Query().Get("scope") == "cluster" && src.Fleet != nil {
+			u, ok = src.Fleet.Collect().Merged.Tenants[name]
+		} else {
+			u, ok = src.Stats().Tenants[name]
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{"error": "no usage recorded for tenant " + name})
+			return
+		}
+		json.NewEncoder(w).Encode(u)
+	})
+	mux.HandleFunc("GET /slo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if src.SLO == nil {
+			json.NewEncoder(w).Encode([]any{})
+			return
+		}
+		st := src.SLO.Status()
+		if st == nil {
+			st = []obs.SLOStatus{}
+		}
+		json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, r *http.Request) {
+		if src.Fleet == nil {
+			http.Error(w, "no fleet collector on this node", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(src.Fleet.Collect())
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

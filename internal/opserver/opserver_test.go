@@ -59,6 +59,9 @@ func newNode(t *testing.T) (http.Handler, *core.Runtime) {
 	if err := c.RegisterFatBinary(testBinary()); err != nil {
 		t.Fatal(err)
 	}
+	if err := c.SetTenant("acme"); err != nil {
+		t.Fatal(err)
+	}
 	p, err := c.Malloc(1 << 10)
 	if err != nil {
 		t.Fatal(err)

@@ -105,18 +105,46 @@ func (s HistSnapshot) Merge(other HistSnapshot) HistSnapshot {
 // Delta returns the observations recorded since prev, assuming s is a
 // later snapshot of the same histogram. Used by gvrt-top to compute
 // interval quantiles from cumulative snapshots.
+//
+// Counters are cumulative, so a later snapshot of the same histogram
+// can never be smaller than an earlier one — unless the process
+// restarted in between and the counters reset. When any count would go
+// negative (non-monotonic input), Delta treats s as a fresh counter
+// and returns it whole: everything the restarted process observed is
+// new since prev. Sum is deliberately not used for reset detection —
+// it can legitimately decrease for histograms observing negative
+// values.
 func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
 	out := HistSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	reset := out.Count < 0 || len(prev.Buckets) > len(s.Buckets) && anyPositive(prev.Buckets[len(s.Buckets):])
 	if len(s.Buckets) > 0 {
 		out.Buckets = make([]int64, len(s.Buckets))
 		copy(out.Buckets, s.Buckets)
 		for i, v := range prev.Buckets {
 			if i < len(out.Buckets) {
 				out.Buckets[i] -= v
+				if out.Buckets[i] < 0 {
+					reset = true
+				}
 			}
 		}
 	}
+	if reset {
+		out = HistSnapshot{Count: s.Count, Sum: s.Sum}
+		if len(s.Buckets) > 0 {
+			out.Buckets = append([]int64(nil), s.Buckets...)
+		}
+	}
 	return out
+}
+
+func anyPositive(b []int64) bool {
+	for _, v := range b {
+		if v > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Quantile estimates the q-quantile (0..1) as the upper bound of the

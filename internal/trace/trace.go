@@ -62,19 +62,19 @@ const (
 )
 
 var kindNames = [...]string{
-	KindConnect:     "connect",
-	KindBind:        "bind",
-	KindUnbind:      "unbind",
-	KindIntraSwap:   "intra-swap",
-	KindInterSwap:   "inter-swap",
-	KindMigration:   "migration",
-	KindCheckpoint:  "checkpoint",
-	KindFailure:     "failure",
-	KindRecovery:    "recovery",
-	KindOffload:     "offload",
-	KindShed:        "shed",
-	KindBreakerTrip: "breaker-trip",
-	KindBreakerHeal: "breaker-heal",
+	KindConnect:        "connect",
+	KindBind:           "bind",
+	KindUnbind:         "unbind",
+	KindIntraSwap:      "intra-swap",
+	KindInterSwap:      "inter-swap",
+	KindMigration:      "migration",
+	KindCheckpoint:     "checkpoint",
+	KindFailure:        "failure",
+	KindRecovery:       "recovery",
+	KindOffload:        "offload",
+	KindShed:           "shed",
+	KindBreakerTrip:    "breaker-trip",
+	KindBreakerHeal:    "breaker-heal",
 	KindExit:           "exit",
 	KindFence:          "fence",
 	KindCrossMigration: "cross-migration",

@@ -22,7 +22,30 @@ type Tracer struct {
 	// Prefetch observes the model-time duration of speculative swap-in
 	// work done by the predictive prefetcher.
 	Prefetch *Histogram
+	// Attr, when set, receives the same byte-level accounting the
+	// instrumented layer adds to its own counters, keyed by the owning
+	// context so the caller can attribute it (per tenant). It must be
+	// safe to call from swap paths: implementations may not take locks.
+	Attr func(ctx int64, kind AttrKind, v int64)
 }
+
+// AttrKind names a per-context attributable quantity reported through
+// Tracer.Attr.
+type AttrKind uint8
+
+const (
+	// AttrSwapBytes: bytes spilled device→swap for ctx (dirty syncs
+	// only — mirrors the runtime's swap_bytes counter, not the
+	// per-operation size histogram).
+	AttrSwapBytes AttrKind = iota
+	// AttrSwapOps: swap-out operations completed for ctx.
+	AttrSwapOps
+	// AttrCheckpointBytes: bytes flushed device→swap by checkpoints.
+	AttrCheckpointBytes
+	// AttrDedupSaved: net change in host bytes avoided by dedup for
+	// images owned by ctx (negative when a shared image privatises).
+	AttrDedupSaved
+)
 
 // Start returns the current model time, or 0 on a nil tracer.
 func (t *Tracer) Start() time.Duration {
@@ -58,4 +81,13 @@ func (t *Tracer) Observe(h *Histogram, v int64) {
 		return
 	}
 	h.Observe(v)
+}
+
+// Attribute reports an attributable quantity for ctx. No-op on a nil
+// tracer or unset Attr sink.
+func (t *Tracer) Attribute(ctx int64, kind AttrKind, v int64) {
+	if t == nil || t.Attr == nil {
+		return
+	}
+	t.Attr(ctx, kind, v)
 }
